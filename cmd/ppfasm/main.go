@@ -1,0 +1,68 @@
+// Command ppfasm assembles, disassembles and sizes PPU prefetch kernels.
+//
+// Usage:
+//
+//	ppfasm kernel.s            # assemble, print binary size + disassembly
+//	ppfasm -hex kernel.s       # also dump the binary encoding as hex
+//	echo 'vaddr r1' | ppfasm - # read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"eventpf/internal/ppu"
+)
+
+func main() {
+	hex := flag.Bool("hex", false, "dump the binary encoding as hex words")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ppfasm [-hex] <kernel.s | ->")
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppfasm: %v\n", err)
+		os.Exit(1)
+	}
+
+	prog, err := ppu.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppfasm: %v\n", err)
+		os.Exit(1)
+	}
+
+	bin := ppu.Encode(prog)
+	fmt.Printf("%d instructions, %d bytes encoded\n\n", len(prog), len(bin))
+	fmt.Print(ppu.Disassemble(prog))
+	if *hex {
+		fmt.Println()
+		for i := 0; i+4 <= len(bin); i += 4 {
+			fmt.Printf("%08x", uint32(bin[i])|uint32(bin[i+1])<<8|uint32(bin[i+2])<<16|uint32(bin[i+3])<<24)
+			if (i/4)%4 == 3 {
+				fmt.Println()
+			} else {
+				fmt.Print(" ")
+			}
+		}
+		fmt.Println()
+	}
+
+	// Round-trip sanity: what we print must reassemble identically.
+	back, err := ppu.Decode(bin)
+	if err != nil || len(back) != len(prog) {
+		fmt.Fprintf(os.Stderr, "ppfasm: internal: decode mismatch: %v\n", err)
+		os.Exit(1)
+	}
+}

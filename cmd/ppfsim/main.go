@@ -1,0 +1,115 @@
+// Command ppfsim runs one benchmark under one prefetching scheme and prints
+// the run's statistics.
+//
+// Usage:
+//
+//	ppfsim -bench HJ-8 -scheme manual -scale 0.25
+//	ppfsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"eventpf/internal/harness"
+	"eventpf/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "HJ-2", "benchmark name (see -list)")
+		schemeStr = flag.String("scheme", "manual", "one of: no-pf stride ghb-regular ghb-large software pragma converted manual manual-blocked")
+		scale     = flag.Float64("scale", 0.25, "input scale relative to the default reduced input")
+		ppus      = flag.Int("ppus", 0, "override PPU count (0 = default 12)")
+		ppuMHz    = flag.Int("ppu-mhz", 0, "override PPU clock in MHz (0 = default 1000)")
+		baseline  = flag.Bool("baseline", false, "also run without prefetching and report the speedup")
+		trace     = flag.Int("trace", 0, "dump the last N prefetcher trace events after the run")
+		jsonOut   = flag.Bool("json", false, "emit the full result record as JSON")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Print(harness.Table2())
+		return
+	}
+
+	b, ok := workloads.ByName(*benchName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ppfsim: unknown benchmark %q; use -list\n", *benchName)
+		os.Exit(2)
+	}
+	scheme, ok := parseScheme(*schemeStr)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ppfsim: unknown scheme %q\n", *schemeStr)
+		os.Exit(2)
+	}
+
+	opt := harness.Options{Scale: *scale, PPUs: *ppus, PPUMHz: *ppuMHz, TraceLast: *trace}
+	res, err := harness.Run(b, scheme, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printResult(res)
+	if res.Trace != nil {
+		fmt.Println("\nlast prefetcher events:")
+		res.Trace.Dump(os.Stdout)
+	}
+
+	if *baseline && scheme != harness.NoPF {
+		base, err := harness.Run(b, harness.NoPF, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nno-pf cycles   %12d\nspeedup        %12.2fx\n",
+			base.Cycles, harness.Speedup(base, res))
+	}
+}
+
+func parseScheme(s string) (harness.Scheme, bool) {
+	for _, sch := range []harness.Scheme{
+		harness.NoPF, harness.Stride, harness.GHBRegular, harness.GHBLarge,
+		harness.Software, harness.Pragma, harness.Converted, harness.Manual,
+		harness.ManualBlocked,
+	} {
+		if sch.String() == s {
+			return sch, true
+		}
+	}
+	return 0, false
+}
+
+func printResult(r harness.Result) {
+	fmt.Printf("benchmark      %12s\nscheme         %12s\n", r.Benchmark, r.Scheme)
+	fmt.Printf("cycles         %12d\ninstructions   %12d\nipc            %12.3f\n",
+		r.Cycles, r.Core.Ops, float64(r.Core.Ops)/float64(r.Cycles))
+	fmt.Printf("L1 hit rate    %12.3f\nL2 hit rate    %12.3f\n",
+		r.L1.ReadHitRate(), r.L2.ReadHitRate())
+	fmt.Printf("DRAM reads     %12d\nbranch mispred %12d\n", r.DRAM.Reads, r.Core.Mispredicts)
+	if r.PF.KernelRuns > 0 {
+		fmt.Printf("kernel runs    %12d\nprefetches     %12d issued, %12d generated\n",
+			r.PF.KernelRuns, r.PF.Issued, r.PF.PFGenerated)
+		fmt.Printf("pf utilisation %12.3f\n", r.L1.PrefetchUtilisation())
+		fmt.Printf("obs dropped    %12d\nreq dropped    %12d\n", r.PF.ObsDropped, r.PF.ReqDropped)
+	}
+	if r.Baseline.Issued > 0 {
+		fmt.Printf("hw-pf issued   %12d (of %d generated)\n", r.Baseline.Issued, r.Baseline.Generated)
+	}
+	if r.Pass != nil {
+		fmt.Printf("compiler pass  %12d chains converted, %d failed, %d kernels\n",
+			r.Pass.Converted, r.Pass.Failed, len(r.Pass.Kernels))
+	}
+}

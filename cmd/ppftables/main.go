@@ -1,0 +1,116 @@
+// Command ppftables regenerates the paper's tables and figures (Tables 1–2,
+// Figures 7–11, and the §7 textual analyses) as aligned text tables.
+//
+// Usage:
+//
+//	ppftables                 # every experiment at the default scale
+//	ppftables -exp fig7       # one experiment
+//	ppftables -scale 1.0      # full reduced-input size (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eventpf/internal/harness"
+)
+
+var experiments = []string{
+	"table1", "table2", "fig7", "fig8a", "fig8b", "fig9a", "fig9b",
+	"fig10", "fig11", "instrs", "extramem", "ablation", "ctxswitch",
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (table1 table2 fig7 fig8a fig8b fig9a fig9b fig10 fig11 instrs extramem ablation ctxswitch) or 'all'")
+		scale = flag.Float64("scale", 0.15, "input scale relative to the default reduced inputs")
+	)
+	flag.Parse()
+
+	suite := harness.NewSuite(harness.Options{Scale: *scale})
+	todo := experiments
+	if *exp != "all" {
+		todo = []string{*exp}
+	}
+	for _, id := range todo {
+		start := time.Now()
+		out, err := runExperiment(suite, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppftables: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (scale %.2f, %v) ==\n%s\n", id, *scale, time.Since(start).Round(time.Millisecond), out)
+	}
+}
+
+func runExperiment(s *harness.Suite, id string) (string, error) {
+	switch id {
+	case "table1":
+		return harness.Table1(s.Opt), nil
+	case "table2":
+		return harness.Table2(), nil
+	case "fig7":
+		rows, err := s.Fig7()
+		if err != nil {
+			return "", err
+		}
+		return harness.FormatFig7(rows), nil
+	case "fig8a", "fig8b":
+		rows, err := s.Fig8()
+		if err != nil {
+			return "", err
+		}
+		return harness.FormatFig8(rows), nil
+	case "fig9a":
+		rows, err := s.Fig9a()
+		if err != nil {
+			return "", err
+		}
+		return harness.FormatFig9a(rows), nil
+	case "fig9b":
+		cells, err := s.Fig9b()
+		if err != nil {
+			return "", err
+		}
+		return harness.FormatFig9b(cells), nil
+	case "fig10":
+		rows, err := s.Fig10()
+		if err != nil {
+			return "", err
+		}
+		return harness.FormatFig10(rows), nil
+	case "fig11":
+		rows, err := s.Fig11()
+		if err != nil {
+			return "", err
+		}
+		return harness.FormatFig11(rows), nil
+	case "instrs":
+		rows, err := s.InstrOverhead()
+		if err != nil {
+			return "", err
+		}
+		return harness.FormatInstrOverhead(rows), nil
+	case "extramem":
+		rows, err := s.ExtraMem()
+		if err != nil {
+			return "", err
+		}
+		return harness.FormatExtraMem(rows), nil
+	case "ablation":
+		rows, err := s.Ablations()
+		if err != nil {
+			return "", err
+		}
+		return harness.FormatAblations(rows), nil
+	case "ctxswitch":
+		rows, err := s.ContextSwitches()
+		if err != nil {
+			return "", err
+		}
+		return harness.FormatContextSwitches(rows), nil
+	}
+	return "", fmt.Errorf("unknown experiment %q", id)
+}

@@ -1,0 +1,132 @@
+package eventpf_test
+
+import (
+	"strings"
+	"testing"
+
+	"eventpf"
+)
+
+func TestFacadeBenchmarkRoster(t *testing.T) {
+	bs := eventpf.Benchmarks()
+	if len(bs) != 8 {
+		t.Fatalf("benchmarks = %d, want 8", len(bs))
+	}
+	for _, b := range bs {
+		got, ok := eventpf.BenchmarkByName(b.Name)
+		if !ok || got != b {
+			t.Errorf("BenchmarkByName(%s) failed", b.Name)
+		}
+	}
+}
+
+func TestFacadeRunAndSpeedup(t *testing.T) {
+	b, _ := eventpf.BenchmarkByName("HJ-2")
+	opt := eventpf.Options{Scale: 0.01}
+	base, err := eventpf.Run(b, eventpf.NoPF, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := eventpf.Run(b, eventpf.Manual, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := eventpf.Speedup(base, man); s <= 0 {
+		t.Errorf("speedup = %v", s)
+	}
+}
+
+func TestFacadeIRAndAssembler(t *testing.T) {
+	b := eventpf.NewIRBuilder("f", 1)
+	e := b.NewBlock("entry")
+	b.SetBlock(e)
+	v := b.Add(b.Arg(0), b.Const(1))
+	b.Ret(v)
+	fn, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := eventpf.ParseIR(fn.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(back.String(), "add") {
+		t.Error("parsed IR lost the add")
+	}
+
+	prog, err := eventpf.Assemble("vaddr r1\npf r1\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 3 {
+		t.Errorf("assembled %d instrs, want 3", len(prog))
+	}
+	if !strings.Contains(eventpf.Disassemble(prog), "vaddr") {
+		t.Error("disassembly missing vaddr")
+	}
+}
+
+func TestFacadeCompilerPipeline(t *testing.T) {
+	// plain indirect loop → auto swpf → conversion, via the facade only.
+	b := eventpf.NewIRBuilder("pipe", 3)
+	entry := b.NewBlock("entry")
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.SetBlock(entry)
+	aB, bB, n := b.Arg(0), b.Arg(1), b.Arg(2)
+	zero := b.Const(0)
+	b.Br(head)
+	b.SetBlock(head)
+	x := b.Phi()
+	acc := b.Phi()
+	b.CondBr(b.Bin(eventpf.IRCmpLTU, x, n), body, exit)
+	b.SetBlock(body)
+	three := b.Const(3)
+	av := b.Load(b.Add(aB, b.Shl(x, three)), "A")
+	bv := b.Load(b.Add(bB, b.Shl(av, three)), "B")
+	acc2 := b.Add(acc, bv)
+	x2 := b.Add(x, b.Const(1))
+	b.Br(head)
+	b.SetBlock(exit)
+	b.Ret(acc)
+	b.SetPhiArgs(x, zero, x2)
+	b.SetPhiArgs(acc, zero, acc2)
+	fn, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := eventpf.InsertSoftwarePrefetches(fn, 16); n != 1 {
+		t.Fatalf("instrumented %d, want 1", n)
+	}
+	res, err := eventpf.ConvertSoftwarePrefetches(fn, eventpf.NewCompilerAlloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converted == 0 || len(res.Kernels) == 0 {
+		t.Errorf("pipeline produced no kernels: %+v", res)
+	}
+}
+
+func TestFacadeCustomMachine(t *testing.T) {
+	m := eventpf.NewMachine(eventpf.DefaultMachineConfig(), eventpf.MachineProgrammable)
+	arr := m.Arena.AllocWords("a", 64)
+	m.RegisterKernel(1, eventpf.MustAssemble("vaddr r1\naddi r1, r1, 64\npf r1\nhalt"))
+	m.PF.SetRange(0, eventpf.RangeConfig{Lo: arr.Base, Hi: arr.End(),
+		LoadKernel: 1, PFKernel: eventpf.NoKernel, EWMAGroup: -1})
+
+	b := eventpf.NewIRBuilder("t", 1)
+	e := b.NewBlock("entry")
+	b.SetBlock(e)
+	v := b.Load(b.Arg(0), "a")
+	b.Ret(v)
+	fn, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run(m.NewInterp(fn, arr.Base))
+	if res.PF.KernelRuns != 1 {
+		t.Errorf("kernel runs = %d, want 1", res.PF.KernelRuns)
+	}
+}

@@ -1,0 +1,53 @@
+package eventpf_test
+
+import (
+	"fmt"
+
+	"eventpf"
+)
+
+// ExampleAssemble shows the figure 4(b) "on_A_load" kernel: on a demand
+// load of array A, prefetch two cache lines ahead, chaining to kernel 2.
+func ExampleAssemble() {
+	prog, err := eventpf.Assemble(`
+		vaddr r1
+		addi  r1, r1, 128
+		pftag r1, 2
+		halt
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(eventpf.Disassemble(prog))
+	// Output:
+	//   0: vaddr r1
+	//   1: addi r1, r1, 128
+	//   2: pftag r1, 2
+	//   3: halt
+}
+
+// ExampleNewIRBuilder builds, prints and reparses a tiny kernel.
+func ExampleNewIRBuilder() {
+	b := eventpf.NewIRBuilder("double", 1)
+	entry := b.NewBlock("entry")
+	b.SetBlock(entry)
+	x := b.Arg(0)
+	two := b.Const(2)
+	b.Ret(b.Mul(x, two))
+	fn, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	if _, err := eventpf.ParseIR(fn.String()); err != nil {
+		panic(err)
+	}
+	fmt.Print(fn.String())
+	// Output:
+	// func double(1 args) {
+	// b0 <entry>:
+	//   v0 = arg 0
+	//   v1 = const 2
+	//   v2 = mul v0, v1
+	//   ret v2
+	// }
+}

@@ -1,0 +1,43 @@
+// Ablation sweeps the prefetcher's design parameters on HJ-8 — the
+// benchmark that exercises every structure (chained events, tags, both
+// queues, the scheduler) — and prints how the speedup responds, extending
+// the paper's evaluation with the sensitivity data DESIGN.md calls out.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventpf"
+)
+
+func main() {
+	suite := eventpf.NewSuite(eventpf.Options{Scale: 0.05})
+
+	rows, err := suite.Ablations()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("HJ-8 manual-scheme speedup vs design parameters:")
+	last := ""
+	for _, r := range rows {
+		if r.Parameter != last {
+			fmt.Printf("\n  %s:\n", r.Parameter)
+			last = r.Parameter
+		}
+		fmt.Printf("    %6d → %5.2fx\n", r.Value, r.Speedup)
+	}
+
+	cs, err := suite.ContextSwitches()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nIntSort manual-scheme speedup vs context-switch flushes (§5.3):")
+	for _, r := range cs {
+		label := "never"
+		if r.IntervalCycles > 0 {
+			label = fmt.Sprintf("every %d cycles", r.IntervalCycles)
+		}
+		fmt.Printf("    %-22s → %5.2fx\n", label, r.Speedup)
+	}
+}

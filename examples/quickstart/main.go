@@ -1,0 +1,37 @@
+// Quickstart: run one paper benchmark with and without the programmable
+// prefetcher and print the headline comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventpf"
+)
+
+func main() {
+	bench, ok := eventpf.BenchmarkByName("HJ-8")
+	if !ok {
+		log.Fatal("benchmark missing")
+	}
+	opt := eventpf.Options{Scale: 0.1}
+
+	base, err := eventpf.Run(bench, eventpf.NoPF, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %10d cycles  (L1 hit rate %.2f)\n",
+		"no prefetching:", base.Cycles, base.L1.ReadHitRate())
+
+	for _, s := range []eventpf.Scheme{
+		eventpf.Stride, eventpf.Software, eventpf.Pragma,
+		eventpf.Converted, eventpf.Manual,
+	} {
+		r, err := eventpf.Run(bench, s, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10d cycles  %5.2fx speedup  (L1 hit rate %.2f)\n",
+			s.String()+":", r.Cycles, eventpf.Speedup(base, r), r.L1.ReadHitRate())
+	}
+}

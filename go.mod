@@ -1,0 +1,3 @@
+module eventpf
+
+go 1.23

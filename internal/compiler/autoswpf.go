@@ -1,0 +1,139 @@
+package compiler
+
+import (
+	"eventpf/internal/ir"
+)
+
+// InsertSoftwarePrefetches implements the paper's reference [2]
+// (Ainsworth & Jones, "Software prefetching for indirect memory accesses",
+// CGO 2017) over our IR: for every loop with a recognised induction
+// variable it finds stride-indirect loads — loads whose address depends on
+// exactly one other in-loop load that is itself affine in the induction
+// variable — and inserts
+//
+//	swpf(&index[i + 2*dist])   // keep the index stream ahead of its use
+//	k := index[i + dist]       // look-ahead load of the index
+//	swpf(&target[k])           // prefetch the future indirect target
+//
+// in the block of the indirect load. The pass gives the paper's §6.4
+// pipeline its front half: plain loop → software prefetches → (Algorithm 1)
+// → programmable events.
+//
+// dist is the look-ahead distance in elements; 0 selects the default 16.
+// The return value counts instrumented indirect loads.
+func InsertSoftwarePrefetches(fn *ir.Fn, dist int64) int {
+	if dist <= 0 {
+		dist = 16
+	}
+	loops := fn.Loops()
+	db := fn.DefBlocks()
+	idom := fn.Dominators()
+
+	inserted := 0
+	for _, l := range loops {
+		if l.Induction == nil {
+			continue
+		}
+		for _, target := range terminalIndirectLoads(fn, l, db, idom) {
+			if instrumentLoad(fn, l, db, target, dist) {
+				inserted++
+			}
+		}
+	}
+	return inserted
+}
+
+// instrumentLoad inserts the prefetch sequence for one indirect load: an
+// index-stream prefetch at twice the distance, look-ahead loads for each
+// intermediate level of the chain, and a software prefetch of the final
+// target. Declines (returning false) on shapes the CGO pass cannot handle.
+func instrumentLoad(fn *ir.Fn, l *ir.Loop, db []ir.BlockID, target ir.Value, dist int64) bool {
+	iv := l.Induction
+	chain, err := buildChain(fn, l, db, iv, fn.Instr(target).A)
+	if err != nil || len(chain) < 2 {
+		return false
+	}
+	if _, ok := affineOf(fn, l, db, chain[0].root, iv.Phi); !ok {
+		return false
+	}
+
+	block := db[target]
+
+	// iv + dist and iv + 2*dist.
+	distC := fn.NewInstr(ir.Instr{Op: ir.Const, A: ir.NoValue, B: ir.NoValue, Imm: dist})
+	fn.InsertBeforeTerminator(block, distC)
+	iv1 := fn.NewInstr(ir.Instr{Op: ir.Add, A: iv.Phi, B: distC})
+	fn.InsertBeforeTerminator(block, iv1)
+	iv2 := fn.NewInstr(ir.Instr{Op: ir.Add, A: iv1, B: distC})
+	fn.InsertBeforeTerminator(block, iv2)
+
+	// swpf(&index[iv + 2*dist]): keep the stride stream itself ahead.
+	sym := fn.Instr(chain[1].input).Sym
+	idxAddr2, ok := cloneExpr(fn, block, chain[0].root, map[ir.Value]ir.Value{iv.Phi: iv2})
+	if !ok {
+		return false
+	}
+	swpfIdx := fn.NewInstr(ir.Instr{Op: ir.SWPf, A: idxAddr2, B: ir.NoValue, Sym: sym})
+	fn.InsertBeforeTerminator(block, swpfIdx)
+
+	// Walk the chain at distance dist: load each intermediate level,
+	// prefetch the last. chain[k].root computed with the substitutions
+	// accumulated so far; chain[k].input (for k ≥ 1) is the load feeding
+	// the next level.
+	subst := map[ir.Value]ir.Value{iv.Phi: iv1}
+	for k := 0; k < len(chain)-1; k++ {
+		addr, ok := cloneExpr(fn, block, chain[k].root, subst)
+		if !ok {
+			return false
+		}
+		ld := fn.NewInstr(ir.Instr{Op: ir.Load, A: addr, B: ir.NoValue,
+			Sym: fn.Instr(chain[k+1].input).Sym})
+		fn.InsertBeforeTerminator(block, ld)
+		subst[chain[k+1].input] = ld
+	}
+	tgtAddr, ok := cloneExpr(fn, block, chain[len(chain)-1].root, subst)
+	if !ok {
+		return false
+	}
+	swpfTgt := fn.NewInstr(ir.Instr{Op: ir.SWPf, A: tgtAddr, B: ir.NoValue,
+		Sym: fn.Instr(target).Sym})
+	fn.InsertBeforeTerminator(block, swpfTgt)
+	return true
+}
+
+// cloneExpr copies the expression DAG rooted at v into block (before its
+// terminator), substituting values per subst; values outside the cone
+// (loop invariants, or substitution keys) are referenced directly. Returns
+// false on ops it cannot clone.
+func cloneExpr(fn *ir.Fn, block ir.BlockID, v ir.Value, subst map[ir.Value]ir.Value) (ir.Value, bool) {
+	if nv, ok := subst[v]; ok {
+		return nv, true
+	}
+	in := fn.Instr(v)
+	switch {
+	case in.Op == ir.Const || in.Op == ir.Arg:
+		return v, true
+	case in.Op == ir.Load || in.Op == ir.Phi:
+		// Reached an unsubstituted load or phi: reference it directly —
+		// legal only if it dominates the block, which holds for the cones
+		// buildChain accepts. The caller's substitution map handles the
+		// one load that must be replaced.
+		return v, true
+	case in.Op.IsBinary():
+		a, okA := cloneExpr(fn, block, in.A, subst)
+		if !okA {
+			return ir.NoValue, false
+		}
+		b, okB := cloneExpr(fn, block, in.B, subst)
+		if !okB {
+			return ir.NoValue, false
+		}
+		if a == in.A && b == in.B {
+			return v, true // nothing substituted below: reuse the original
+		}
+		nv := fn.NewInstr(ir.Instr{Op: in.Op, A: a, B: b})
+		fn.InsertBeforeTerminator(block, nv)
+		return nv, true
+	}
+	return ir.NoValue, false
+}

@@ -1,0 +1,145 @@
+package compiler
+
+import (
+	"testing"
+
+	"eventpf/internal/cpu"
+	"eventpf/internal/ir"
+	"eventpf/internal/mem"
+)
+
+func TestAutoSWPfInstrumentsIndirectLoop(t *testing.T) {
+	fn := buildFigure5(t, false, false) // plain acc += C[B[A[x]]]
+	n := InsertSoftwarePrefetches(fn, 16)
+	if n != 1 {
+		t.Fatalf("instrumented %d loads, want 1 (the C access)", n)
+	}
+	if err := fn.Verify(); err != nil {
+		t.Fatalf("pass broke the function: %v\n%s", err, fn)
+	}
+	if got := countOps(fn, ir.SWPf); got != 2 {
+		t.Errorf("software prefetches = %d, want 2 (index + target)", got)
+	}
+	// Two extra look-ahead loads (the A and B levels of the chain).
+	if got := countOps(fn, ir.Load); got != 5 {
+		t.Errorf("loads = %d, want 5", got)
+	}
+}
+
+func TestAutoSWPfPreservesSemantics(t *testing.T) {
+	plain := buildFigure5(t, false, false)
+	auto := buildFigure5(t, false, false)
+	if InsertSoftwarePrefetches(auto, 8) != 1 {
+		t.Fatal("instrumentation failed")
+	}
+
+	bk := mem.NewBacking()
+	arena := mem.NewArena(bk)
+	const n = 200
+	a := arena.AllocWords("A", n+64)
+	b := arena.AllocWords("B", n+64)
+	c := arena.AllocWords("C", n+64)
+	seed := uint64(5)
+	for i := uint64(0); i < n+64; i++ {
+		seed = seed*6364136223846793005 + 1
+		bk.Write64(a.Base+i*8, seed%n)
+		bk.Write64(b.Base+i*8, (seed>>7)%n)
+		bk.Write64(c.Base+i*8, seed&0xFFF)
+	}
+
+	run := func(fn *ir.Fn) uint64 {
+		it := ir.NewInterp(fn, bk, nil, new(int64), a.Base, b.Base, c.Base, n)
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+		v, _ := it.Result()
+		return v
+	}
+	if got, want := run(auto), run(plain); got != want {
+		t.Errorf("instrumented result %d != plain %d", got, want)
+	}
+}
+
+func TestAutoSWPfThenConversionPipeline(t *testing.T) {
+	// The §6.4 pipeline: plain loop → auto software prefetches →
+	// Algorithm 1 → event kernels, no hand-written annotations at all.
+	fn := buildFigure5(t, false, false)
+	if InsertSoftwarePrefetches(fn, 16) != 1 {
+		t.Fatal("instrumentation failed")
+	}
+	res, err := ConvertSoftwarePrefetches(fn, NewAlloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converted != 2 {
+		t.Fatalf("converted %d chains (failed %d: %v), want 2", res.Converted, res.Failed, res.Errors)
+	}
+	// The full A→B→C chain converts to three kernels plus the index stream.
+	if len(res.Kernels) < 4 {
+		t.Errorf("kernels = %d, want ≥ 4", len(res.Kernels))
+	}
+	if err := fn.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if got := countOps(fn, ir.SWPf); got != 0 {
+		t.Errorf("%d software prefetches survive the full pipeline", got)
+	}
+}
+
+func TestAutoSWPfSkipsPlainStrideLoop(t *testing.T) {
+	// A loop with only a strided load has no indirection to instrument.
+	b := ir.NewBuilder("stride", 2)
+	entry := b.NewBlock("entry")
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.SetBlock(entry)
+	base, n := b.Arg(0), b.Arg(1)
+	zero := b.Const(0)
+	b.Br(head)
+	b.SetBlock(head)
+	i := b.Phi()
+	acc := b.Phi()
+	b.CondBr(b.Bin(ir.CmpLTU, i, n), body, exit)
+	b.SetBlock(body)
+	v := b.Load(b.Add(base, b.Shl(i, b.Const(3))), "arr")
+	acc2 := b.Add(acc, v)
+	i2 := b.Add(i, b.Const(1))
+	b.Br(head)
+	b.SetBlock(exit)
+	b.Ret(acc)
+	b.SetPhiArgs(i, zero, i2)
+	b.SetPhiArgs(acc, zero, acc2)
+	fn := b.MustFinish()
+
+	if n := InsertSoftwarePrefetches(fn, 16); n != 0 {
+		t.Errorf("instrumented %d loads in a stride-only loop", n)
+	}
+}
+
+func TestAutoSWPfEmitsMicroOps(t *testing.T) {
+	// The inserted prefetches must reach the core as OpSWPf micro-ops.
+	fn := buildFigure5(t, false, false)
+	InsertSoftwarePrefetches(fn, 4)
+	bk := mem.NewBacking()
+	arena := mem.NewArena(bk)
+	a := arena.AllocWords("A", 64)
+	b := arena.AllocWords("B", 64)
+	c := arena.AllocWords("C", 64)
+	it := ir.NewInterp(fn, bk, nil, new(int64), a.Base, b.Base, c.Base, 8)
+	swpf := 0
+	for {
+		op, ok := it.Next()
+		if !ok {
+			break
+		}
+		if op.Kind == cpu.OpSWPf {
+			swpf++
+		}
+	}
+	if swpf != 16 { // 2 per iteration × 8 iterations
+		t.Errorf("swpf micro-ops = %d, want 16", swpf)
+	}
+}

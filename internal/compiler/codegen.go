@@ -1,0 +1,231 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"eventpf/internal/ir"
+	"eventpf/internal/ppu"
+)
+
+// codegenCtx carries shared state while compiling one chain's events.
+type codegenCtx struct {
+	fn *ir.Fn
+	l  *ir.Loop
+	db []ir.BlockID
+	iv *ir.InductionVar
+
+	// gregs maps loop-invariant IR values to prefetcher global registers;
+	// entries are added on demand and later materialised as CfgGlobal
+	// instructions in the preheader.
+	gregs map[ir.Value]int
+	alloc *Alloc
+
+	// trigger is the affine form of the first event's prefetch address
+	// (base + coeff*iv + off), used to reconstruct the induction variable
+	// from the observed address.
+	trigger affine
+
+	// ewmaGroup, if ≥0, makes the first event add the EWMA look-ahead
+	// distance to the reconstructed induction variable (pragma pass);
+	// conversion instead inherits the constant distance already present in
+	// the software prefetch's address expression.
+	ewmaGroup int
+}
+
+func (cc *codegenCtx) gregFor(v ir.Value) int {
+	if g, ok := cc.gregs[v]; ok {
+		return g
+	}
+	g := cc.alloc.greg()
+	cc.gregs[v] = g
+	return g
+}
+
+// compileEvent lowers one event to PPU instructions. chainTag is the kernel
+// id to tag the emitted prefetch with (fires on fill), or ppu.NoTag for the
+// last event in the chain.
+func (cc *codegenCtx) compileEvent(ev *event, chainTag int) ([]ppu.Instr, error) {
+	fn := cc.fn
+	var prog []ppu.Instr
+	regs := map[ir.Value]uint8{}
+	next := uint8(1)
+	var free []uint8
+
+	// Remaining-use counts let registers be recycled once a value is dead;
+	// the root is kept live for the final prefetch.
+	uses := map[ir.Value]int{ev.root: 1}
+	for _, v := range ev.cone {
+		in := fn.Instr(v)
+		for _, o := range []ir.Value{in.A, in.B} {
+			if o != ir.NoValue {
+				uses[o]++
+			}
+		}
+	}
+	alloc := func(v ir.Value) (uint8, error) {
+		if r, ok := regs[v]; ok {
+			return r, nil
+		}
+		var r uint8
+		if len(free) > 0 {
+			r = free[len(free)-1]
+			free = free[:len(free)-1]
+		} else {
+			if next >= ppu.NumRegs {
+				return 0, fmt.Errorf("event needs more than %d registers", ppu.NumRegs-1)
+			}
+			r = next
+			next++
+		}
+		regs[v] = r
+		return r, nil
+	}
+	release := func(v ir.Value) {
+		uses[v]--
+		if uses[v] == 0 {
+			if r, ok := regs[v]; ok {
+				free = append(free, r)
+				delete(regs, v)
+			}
+		}
+	}
+
+	// Materialise a leaf value into a register.
+	materialise := func(v ir.Value) error {
+		if _, ok := regs[v]; ok {
+			return nil
+		}
+		in := fn.Instr(v)
+		r, err := alloc(v)
+		if err != nil {
+			return err
+		}
+		switch {
+		case v == ev.input:
+			// The loaded value that triggered this event: forwarded in the
+			// captured cache line at the trigger address's offset.
+			prog = append(prog, ppu.Instr{Op: ppu.LDDATA, Rd: r})
+		case v == cc.iv.Phi:
+			// Reconstruct x from the observed address:
+			//   x = (vaddr - base) >> log2(coeff)   (§6.3)
+			shift, ok := log2(cc.trigger.coeff)
+			if !ok {
+				return fmt.Errorf("element size %d not a power of two", cc.trigger.coeff)
+			}
+			prog = append(prog, ppu.Instr{Op: ppu.VADDR, Rd: r})
+			if cc.trigger.base != ir.NoValue {
+				baseReg, err := alloc(ir.Value(-2 - int(cc.trigger.base))) // pseudo-slot
+				if err != nil {
+					return err
+				}
+				prog = append(prog,
+					ppu.Instr{Op: ppu.LDG, Rd: baseReg, Imm: int64(cc.gregFor(cc.trigger.base))},
+					ppu.Instr{Op: ppu.SUB, Rd: r, Ra: r, Rb: baseReg})
+			}
+			prog = append(prog, ppu.Instr{Op: ppu.SHRI, Rd: r, Ra: r, Imm: shift})
+			if cc.ewmaGroup >= 0 {
+				laReg, err := alloc(ir.Value(-1000)) // pseudo-slot for look-ahead
+				if err != nil {
+					return err
+				}
+				prog = append(prog,
+					ppu.Instr{Op: ppu.LDEWMA, Rd: laReg, Imm: int64(cc.ewmaGroup)},
+					ppu.Instr{Op: ppu.ADD, Rd: r, Ra: r, Rb: laReg})
+			}
+		case in.Op == ir.Const:
+			prog = append(prog, ppu.Instr{Op: ppu.MOVI, Rd: r, Imm: in.Imm})
+		default:
+			// Loop-invariant value: configured into a global register.
+			prog = append(prog, ppu.Instr{Op: ppu.LDG, Rd: r, Imm: int64(cc.gregFor(v))})
+		}
+		return nil
+	}
+
+	// Emit the cone in dependence order (SSA ids ascend with definition
+	// order, so sorting gives a topological order).
+	cone := append([]ir.Value(nil), ev.cone...)
+	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
+
+	// Leaves first.
+	inCone := map[ir.Value]bool{}
+	for _, v := range cone {
+		inCone[v] = true
+	}
+	for _, v := range cone {
+		in := fn.Instr(v)
+		for _, o := range []ir.Value{in.A, in.B} {
+			if o == ir.NoValue || inCone[o] {
+				continue
+			}
+			if err := materialise(o); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(cone) == 0 {
+		// Root itself is a leaf (e.g. prefetch of A[x] directly).
+		if err := materialise(ev.root); err != nil {
+			return nil, err
+		}
+	}
+
+	opFor := map[ir.Op]ppu.Opcode{
+		ir.Add: ppu.ADD, ir.Sub: ppu.SUB, ir.Mul: ppu.MUL,
+		ir.And: ppu.AND, ir.Or: ppu.OR, ir.Xor: ppu.XOR,
+		ir.Shl: ppu.SHL, ir.Shr: ppu.SHR,
+	}
+	for _, v := range cone {
+		in := fn.Instr(v)
+		op, ok := opFor[in.Op]
+		if !ok {
+			return nil, fmt.Errorf("op %s not supported on PPUs", in.Op)
+		}
+		ra, okA := regs[in.A]
+		rb, okB := regs[in.B]
+		if !okA || !okB {
+			return nil, fmt.Errorf("internal: operand of v%d not materialised", v)
+		}
+		release(in.A)
+		release(in.B)
+		rd, err := alloc(v)
+		if err != nil {
+			return nil, err
+		}
+		prog = append(prog, ppu.Instr{Op: op, Rd: rd, Ra: ra, Rb: rb})
+	}
+
+	rootReg, ok := regs[ev.root]
+	if !ok {
+		return nil, fmt.Errorf("internal: root v%d not materialised", ev.root)
+	}
+	if chainTag != ppu.NoTag {
+		prog = append(prog, ppu.Instr{Op: ppu.PFTAG, Ra: rootReg, Imm: int64(chainTag)})
+	} else {
+		prog = append(prog, ppu.Instr{Op: ppu.PF, Ra: rootReg})
+	}
+	prog = append(prog, ppu.Instr{Op: ppu.HALT})
+	return prog, nil
+}
+
+// compileChain lowers every event of a chain, allocating kernel ids so each
+// event's prefetch tags the next event's kernel.
+func (cc *codegenCtx) compileChain(chain []*event) (map[int][]ppu.Instr, int, error) {
+	ids := make([]int, len(chain))
+	for i := range chain {
+		ids[i] = cc.alloc.kernel()
+	}
+	kernels := make(map[int][]ppu.Instr, len(chain))
+	for i, ev := range chain {
+		tag := ppu.NoTag
+		if i+1 < len(chain) {
+			tag = ids[i+1]
+		}
+		prog, err := cc.compileEvent(ev, tag)
+		if err != nil {
+			return nil, 0, err
+		}
+		kernels[ids[i]] = prog
+	}
+	return kernels, ids[0], nil
+}

@@ -1,0 +1,219 @@
+// Package compiler implements the paper's §6 compiler assistance over our
+// IR: conversion of software-prefetch instructions into programmable-
+// prefetcher event kernels (Algorithm 1), and automatic event generation
+// for loops annotated with "#pragma prefetch" (§6.4). Both passes rewrite
+// the function in place — inserting configuration instructions in the loop
+// preheader and removing dead prefetch code — and return the PPU kernels
+// to load into the prefetcher.
+package compiler
+
+import (
+	"fmt"
+
+	"eventpf/internal/ir"
+	"eventpf/internal/ppu"
+)
+
+// Alloc hands out kernel ids, filter-table slots, global registers and EWMA
+// groups so several compiled loops in one program do not collide.
+type Alloc struct {
+	NextKernel int
+	NextSlot   int
+	NextGReg   int
+	NextEWMA   int
+}
+
+// NewAlloc returns an allocator starting at kernel id 1 (0 is reserved).
+func NewAlloc() *Alloc { return &Alloc{NextKernel: 1} }
+
+func (a *Alloc) kernel() int { k := a.NextKernel; a.NextKernel++; return k }
+func (a *Alloc) slot() int   { s := a.NextSlot; a.NextSlot++; return s }
+func (a *Alloc) greg() int {
+	g := a.NextGReg
+	a.NextGReg++
+	if g >= ppu.NumGlobals {
+		panic("compiler: out of prefetcher global registers")
+	}
+	return g
+}
+func (a *Alloc) ewma() int {
+	e := a.NextEWMA
+	a.NextEWMA++
+	if e >= 8 {
+		panic("compiler: out of EWMA groups")
+	}
+	return e
+}
+
+// Result reports what a pass produced.
+type Result struct {
+	// Kernels are the generated PPU programs, keyed by kernel id.
+	Kernels map[int][]ppu.Instr
+	// Converted counts prefetches (or discovered patterns) successfully
+	// turned into event chains; Failed counts the ones left untouched.
+	Converted int
+	Failed    int
+	// Errors records why each failed conversion was rejected.
+	Errors []string
+}
+
+// affine is the result of analysing an address expression as
+// base + Coeff*iv + Off, where base is a single loop-invariant value.
+type affine struct {
+	base  ir.Value
+	coeff int64
+	off   int64
+}
+
+// affineOf decomposes the address expression rooted at v. iv may be
+// ir.NoValue when no induction variable is expected. Loads act as opaque
+// leaves and make the decomposition fail (callers split on loads first).
+func affineOf(fn *ir.Fn, l *ir.Loop, db []ir.BlockID, v ir.Value, iv ir.Value) (affine, bool) {
+	in := fn.Instr(v)
+	if v == iv {
+		return affine{base: ir.NoValue, coeff: 1}, true
+	}
+	if fn.LoopInvariant(l, v, db) {
+		if in.Op == ir.Const {
+			return affine{base: ir.NoValue, off: in.Imm}, true
+		}
+		return affine{base: v, coeff: 0}, true
+	}
+	switch in.Op {
+	case ir.Add, ir.Sub:
+		a, okA := affineOf(fn, l, db, in.A, iv)
+		b, okB := affineOf(fn, l, db, in.B, iv)
+		if !okA || !okB {
+			return affine{}, false
+		}
+		if in.Op == ir.Sub {
+			if b.base != ir.NoValue {
+				return affine{}, false
+			}
+			b.coeff, b.off = -b.coeff, -b.off
+		}
+		if a.base != ir.NoValue && b.base != ir.NoValue {
+			return affine{}, false // two symbolic bases: not our shape
+		}
+		base := a.base
+		if base == ir.NoValue {
+			base = b.base
+		}
+		return affine{base: base, coeff: a.coeff + b.coeff, off: a.off + b.off}, true
+	case ir.Mul:
+		return affineMulShift(fn, l, db, in, iv, func(x, k int64) int64 { return x * k })
+	case ir.Shl:
+		return affineMulShift(fn, l, db, in, iv, func(x, k int64) int64 { return x << uint(k) })
+	}
+	return affine{}, false
+}
+
+func affineMulShift(fn *ir.Fn, l *ir.Loop, db []ir.BlockID, in *ir.Instr, iv ir.Value,
+	apply func(x, k int64) int64) (affine, bool) {
+	a, okA := affineOf(fn, l, db, in.A, iv)
+	b, okB := affineOf(fn, l, db, in.B, iv)
+	if !okA || !okB {
+		return affine{}, false
+	}
+	// Exactly one side must be a pure constant.
+	if b.base == ir.NoValue && b.coeff == 0 {
+		return affine{base: a.base, coeff: apply(a.coeff, b.off), off: apply(a.off, b.off)}, true
+	}
+	if in.Op == ir.Mul && a.base == ir.NoValue && a.coeff == 0 {
+		return affine{base: b.base, coeff: apply(b.coeff, a.off), off: apply(b.off, a.off)}, true
+	}
+	return affine{}, false
+}
+
+func log2(x int64) (int64, bool) {
+	if x <= 0 || x&(x-1) != 0 {
+		return 0, false
+	}
+	n := int64(0)
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n, true
+}
+
+// event is one step of a prefetch chain: a cone of instructions recomputing
+// an address, triggered either by a demand-load observation (first event,
+// input == NoValue, address derived from the induction variable) or by the
+// fill of the previous event's prefetch (input == the load instruction
+// whose data the fill supplies).
+type event struct {
+	cone   []ir.Value
+	input  ir.Value
+	root   ir.Value
+	usesIV bool
+}
+
+// buildChain performs the paper's backwards depth-first analysis from an
+// address expression, splitting into single-load events (§6.1). It returns
+// the chain ordered first-event-first.
+func buildChain(fn *ir.Fn, l *ir.Loop, db []ir.BlockID, iv *ir.InductionVar, addr ir.Value) ([]*event, error) {
+	var chain []*event
+	root := addr
+	input := ir.NoValue // filled per iteration: the load ending each event
+	for depth := 0; ; depth++ {
+		if depth > 8 {
+			return nil, fmt.Errorf("prefetch chain deeper than 8 events")
+		}
+		ev := &event{root: root, input: input}
+		var loads []ir.Value
+		seen := map[ir.Value]bool{}
+		var visit func(v ir.Value) error
+		visit = func(v ir.Value) error {
+			if seen[v] {
+				return nil
+			}
+			seen[v] = true
+			in := fn.Instr(v)
+			if v == iv.Phi {
+				ev.usesIV = true
+				return nil
+			}
+			if fn.LoopInvariant(l, v, db) {
+				return nil // leaf: global register or constant
+			}
+			switch in.Op {
+			case ir.Load:
+				loads = append(loads, v)
+				return nil
+			case ir.Phi:
+				return fmt.Errorf("non-induction phi v%d in address expression", v)
+			case ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr:
+				ev.cone = append(ev.cone, v)
+				if err := visit(in.A); err != nil {
+					return err
+				}
+				return visit(in.B)
+			default:
+				return fmt.Errorf("unsupported op %s (v%d) in address expression", in.Op, v)
+			}
+		}
+		if err := visit(root); err != nil {
+			return nil, err
+		}
+		if len(loads) > 1 {
+			return nil, fmt.Errorf("event needs %d loaded values at once", len(loads))
+		}
+		if len(loads) == 1 && ev.usesIV {
+			return nil, fmt.Errorf("event mixes induction variable and loaded value")
+		}
+		chain = append([]*event{ev}, chain...)
+		if len(loads) == 0 {
+			if !ev.usesIV {
+				return nil, fmt.Errorf("address is loop-invariant; nothing to convert")
+			}
+			return chain, nil
+		}
+		// Continue analysis from the load's own address: it becomes the
+		// previous event, and this event is triggered by its fill.
+		ld := loads[0]
+		ev.input = ld
+		root = fn.Instr(ld).A
+		input = ir.NoValue
+	}
+}

@@ -1,0 +1,329 @@
+package compiler
+
+import (
+	"testing"
+
+	"eventpf/internal/ir"
+	"eventpf/internal/ppu"
+)
+
+// buildFigure5 builds the paper's figure 5(a):
+//
+//	for (x = 0; x < N; x++) { swpf(&C[B[A[x+n]]]); acc += C[B[A[x]]]; }
+//
+// Args: 0=A, 1=B, 2=C, 3=N. withSWPf=false gives figure 5(b) (pragma form).
+func buildFigure5(t testing.TB, withSWPf, withPragma bool) *ir.Fn {
+	t.Helper()
+	b := ir.NewBuilder("fig5", 4)
+	entry := b.NewBlock("entry")
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	aB, bB, cB, n := b.Arg(0), b.Arg(1), b.Arg(2), b.Arg(3)
+	zero := b.Const(0)
+	b.Br(head)
+
+	b.SetBlock(head)
+	x := b.Phi()
+	acc := b.Phi()
+	cond := b.Bin(ir.CmpLTU, x, n)
+	b.CondBr(cond, body, exit)
+	if withPragma {
+		b.MarkPragma(head)
+	}
+
+	b.SetBlock(body)
+	eight := b.Const(8)
+	if withSWPf {
+		dist := b.Const(16)
+		xd := b.Add(x, dist)
+		av := b.Load(b.Add(aB, b.Mul(xd, eight)), "A")
+		bv := b.Load(b.Add(bB, b.Mul(av, eight)), "B")
+		b.SWPf(b.Add(cB, b.Mul(bv, eight)), "C")
+	}
+	av := b.Load(b.Add(aB, b.Mul(x, eight)), "A")
+	bv := b.Load(b.Add(bB, b.Mul(av, eight)), "B")
+	cv := b.Load(b.Add(cB, b.Mul(bv, eight)), "C")
+	acc2 := b.Add(acc, cv)
+	x2 := b.Add(x, b.Const(1))
+	b.Br(head)
+
+	b.SetBlock(exit)
+	b.Ret(acc)
+
+	b.SetPhiArgs(x, zero, x2)
+	b.SetPhiArgs(acc, zero, acc2)
+	return b.MustFinish()
+}
+
+func countOps(fn *ir.Fn, op ir.Op) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		for _, v := range b.Instrs {
+			if fn.Instr(v).Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestConvertFigure5(t *testing.T) {
+	fn := buildFigure5(t, true, false)
+	loadsBefore := countOps(fn, ir.Load)
+
+	res, err := ConvertSoftwarePrefetches(fn, NewAlloc())
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	if res.Converted != 1 || res.Failed != 0 {
+		t.Fatalf("converted=%d failed=%d, want 1/0", res.Converted, res.Failed)
+	}
+	// Three events: A (iv-triggered), B (on A fill), C (on B fill).
+	if len(res.Kernels) != 3 {
+		t.Fatalf("kernels = %d, want 3", len(res.Kernels))
+	}
+	if countOps(fn, ir.SWPf) != 0 {
+		t.Error("software prefetch not removed")
+	}
+	// The duplicated A[x+n] and B[...] loads must be dead-code-eliminated.
+	loadsAfter := countOps(fn, ir.Load)
+	if loadsAfter != loadsBefore-2 {
+		t.Errorf("loads after conversion = %d, want %d (prefetch loads removed)",
+			loadsAfter, loadsBefore-2)
+	}
+	// Configuration instructions appear: 1 bounds + globals (B and C bases).
+	if got := countOps(fn, ir.Cfg); got < 3 {
+		t.Errorf("cfg instructions = %d, want ≥ 3", got)
+	}
+	if err := fn.Verify(); err != nil {
+		t.Fatalf("function invalid after pass: %v", err)
+	}
+}
+
+func TestConvertedKernelsChainCorrectly(t *testing.T) {
+	fn := buildFigure5(t, true, false)
+	res, err := ConvertSoftwarePrefetches(fn, NewAlloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the first event (kernel 1 from a fresh Alloc). It must use
+	// vaddr (address reconstruction) and end in a tagged prefetch.
+	k1 := res.Kernels[1]
+	if k1 == nil {
+		t.Fatalf("kernel 1 missing; have %v", keys(res.Kernels))
+	}
+	hasVaddr, hasPftag := false, false
+	for _, in := range k1 {
+		if in.Op == ppu.VADDR {
+			hasVaddr = true
+		}
+		if in.Op == ppu.PFTAG {
+			hasPftag = true
+		}
+	}
+	if !hasVaddr || !hasPftag {
+		t.Errorf("first event kernel lacks vaddr/pftag:\n%s", ppu.Disassemble(k1))
+	}
+	// The last event ends in an untagged pf.
+	k3 := res.Kernels[3]
+	last := k3[len(k3)-2] // before halt
+	if last.Op != ppu.PF {
+		t.Errorf("final event does not end the chain:\n%s", ppu.Disassemble(k3))
+	}
+}
+
+func keys(m map[int][]ppu.Instr) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestConvertFailsOnListWalk(t *testing.T) {
+	// while (p) { swpf(p->next); p = p->next; } — the address comes from a
+	// non-induction phi, which Algorithm 1 rejects (the paper's G500-List
+	// case).
+	b := ir.NewBuilder("list", 1)
+	entry := b.NewBlock("entry")
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	p0 := b.Arg(0)
+	zero := b.Const(0)
+	b.Br(head)
+
+	b.SetBlock(head)
+	p := b.Phi()
+	i := b.Phi() // induction variable exists, but the swpf doesn't use it
+	cond := b.Bin(ir.CmpNE, p, zero)
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	b.SWPf(p, "node")
+	next := b.Load(p, "node")
+	one := b.Const(1)
+	i2 := b.Add(i, one)
+	b.Br(head)
+
+	b.SetBlock(exit)
+	b.Ret(ir.NoValue)
+	b.SetPhiArgs(p, p0, next)
+	b.SetPhiArgs(i, zero, i2)
+	fn := b.MustFinish()
+
+	res, err := ConvertSoftwarePrefetches(fn, NewAlloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converted != 0 || res.Failed != 1 {
+		t.Errorf("converted=%d failed=%d, want 0/1", res.Converted, res.Failed)
+	}
+	if countOps(fn, ir.SWPf) != 1 {
+		t.Error("unconvertible software prefetch should stay in place")
+	}
+}
+
+func TestPragmaFigure5(t *testing.T) {
+	fn := buildFigure5(t, false, true)
+	res, err := GeneratePragmaEvents(fn, NewAlloc())
+	if err != nil {
+		t.Fatalf("pragma: %v", err)
+	}
+	if res.Converted != 1 {
+		t.Fatalf("converted=%d, want 1 (the C[B[A[x]]] chain)", res.Converted)
+	}
+	if len(res.Kernels) != 3 {
+		t.Fatalf("kernels = %d, want 3", len(res.Kernels))
+	}
+	// First event must consult the EWMA for look-ahead.
+	k1 := res.Kernels[1]
+	hasEWMA := false
+	for _, in := range k1 {
+		if in.Op == ppu.LDEWMA {
+			hasEWMA = true
+		}
+	}
+	if !hasEWMA {
+		t.Errorf("pragma first event lacks EWMA look-ahead:\n%s", ppu.Disassemble(k1))
+	}
+	// The original loads are untouched.
+	if got := countOps(fn, ir.Load); got != 3 {
+		t.Errorf("loads = %d, want 3", got)
+	}
+	if err := fn.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPragmaSkipsControlFlowLoads(t *testing.T) {
+	// A loop whose indirect load sits behind a data-dependent branch: the
+	// pragma pass must skip it (complicated control flow, §6.4).
+	b := ir.NewBuilder("cf", 3)
+	entry := b.NewBlock("entry")
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	then := b.NewBlock("then")
+	latch := b.NewBlock("latch")
+	exit := b.NewBlock("exit")
+
+	b.SetBlock(entry)
+	aB, bB, n := b.Arg(0), b.Arg(1), b.Arg(2)
+	zero := b.Const(0)
+	b.Br(head)
+
+	b.SetBlock(head)
+	x := b.Phi()
+	cond := b.Bin(ir.CmpLTU, x, n)
+	b.CondBr(cond, body, exit)
+	b.MarkPragma(head)
+
+	b.SetBlock(body)
+	eight := b.Const(8)
+	av := b.Load(b.Add(aB, b.Mul(x, eight)), "A")
+	isOdd := b.And(av, b.Const(1))
+	b.CondBr(isOdd, then, latch)
+
+	b.SetBlock(then)
+	b.Load(b.Add(bB, b.Mul(av, eight)), "B") // indirect, but conditional
+	b.Br(latch)
+
+	b.SetBlock(latch)
+	x2 := b.Add(x, b.Const(1))
+	b.Br(head)
+
+	b.SetBlock(exit)
+	b.Ret(ir.NoValue)
+	b.SetPhiArgs(x, zero, x2)
+	fn := b.MustFinish()
+
+	res, err := GeneratePragmaEvents(fn, NewAlloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converted != 0 {
+		t.Errorf("converted=%d, want 0: the indirect load is control-dependent", res.Converted)
+	}
+}
+
+func TestAffineAnalysis(t *testing.T) {
+	fn := buildFigure5(t, false, false)
+	loops := fn.Loops()
+	if len(loops) != 1 {
+		t.Fatal("expected one loop")
+	}
+	l := loops[0]
+	db := fn.DefBlocks()
+	// Find the A load: its address should be affine base=A coeff=8.
+	for _, b := range fn.Blocks {
+		for _, v := range b.Instrs {
+			in := fn.Instr(v)
+			if in.Op == ir.Load && in.Sym == "A" {
+				a, ok := affineOf(fn, l, db, in.A, l.Induction.Phi)
+				if !ok || a.coeff != 8 || a.base == ir.NoValue {
+					t.Errorf("affine(A addr) = %+v ok=%v, want coeff 8 with base", a, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestLoopBoundRecognised(t *testing.T) {
+	fn := buildFigure5(t, false, false)
+	l := fn.Loops()[0]
+	bound, ok := fn.LoopBound(l)
+	if !ok {
+		t.Fatal("loop bound not recognised")
+	}
+	if fn.Instr(bound).Op != ir.Arg || fn.Instr(bound).Imm != 3 {
+		t.Errorf("bound = v%d (%s), want arg 3", bound, fn.Instr(bound).Op)
+	}
+}
+
+func TestDeadCodeElimKeepsSideEffects(t *testing.T) {
+	b := ir.NewBuilder("dce", 1)
+	e := b.NewBlock("entry")
+	b.SetBlock(e)
+	base := b.Arg(0)
+	dead := b.Add(base, b.Const(8)) // unused
+	live := b.Add(base, b.Const(16))
+	b.Store(live, base, "out")
+	b.Ret(ir.NoValue)
+	fn := b.MustFinish()
+	_ = dead
+	removed := fn.DeadCodeElim()
+	if removed == 0 {
+		t.Error("nothing removed")
+	}
+	if countOps(fn, ir.Store) != 1 {
+		t.Error("store removed")
+	}
+	if fn.Instr(live).Op == ir.Nop {
+		t.Error("live address computation removed")
+	}
+}

@@ -1,0 +1,149 @@
+package compiler
+
+import (
+	"fmt"
+
+	"eventpf/internal/ir"
+	"eventpf/internal/ppu"
+)
+
+// ConvertSoftwarePrefetches is the paper's Algorithm 1: it rewrites every
+// convertible software-prefetch instruction inside a loop with a recognised
+// induction variable into a chain of programmable-prefetcher event kernels,
+// inserts the configuration instructions in the loop preheader, removes the
+// software prefetch and dead-code-eliminates its address generation.
+//
+// Prefetches it cannot convert (no induction variable, multiple loads
+// feeding one event, non-induction phi nodes, unsupported ops) are left in
+// place as ordinary software prefetches and counted in Result.Failed.
+func ConvertSoftwarePrefetches(fn *ir.Fn, alloc *Alloc) (*Result, error) {
+	res := &Result{Kernels: map[int][]ppu.Instr{}}
+	loops := fn.Loops()
+	db := fn.DefBlocks()
+
+	type target struct {
+		v    ir.Value
+		loop *ir.Loop
+	}
+	var targets []target
+	for _, b := range fn.Blocks {
+		l := innermostLoop(loops, b.ID)
+		if l == nil || l.Induction == nil {
+			continue
+		}
+		for _, v := range b.Instrs {
+			if fn.Instr(v).Op == ir.SWPf {
+				targets = append(targets, target{v, l})
+			}
+		}
+	}
+
+	converted := false
+	for _, tg := range targets {
+		if err := convertOne(fn, tg.loop, db, tg.v, alloc, res, -1); err != nil {
+			res.Failed++
+			res.Errors = append(res.Errors, err.Error())
+			continue
+		}
+		fn.RemoveInstr(tg.v)
+		res.Converted++
+		converted = true
+	}
+	if converted {
+		fn.DeadCodeElim()
+		if err := fn.Verify(); err != nil {
+			return nil, fmt.Errorf("compiler: pass broke the function: %v", err)
+		}
+	}
+	return res, nil
+}
+
+func innermostLoop(loops []*ir.Loop, b ir.BlockID) *ir.Loop {
+	var best *ir.Loop
+	for _, l := range loops {
+		if !l.Contains(b) {
+			continue
+		}
+		if best == nil || len(l.Blocks) < len(best.Blocks) {
+			best = l
+		}
+	}
+	return best
+}
+
+// convertOne converts the address expression of the instruction at v (a
+// SWPf for the conversion pass, a Load for the pragma pass) into an event
+// chain plus configuration. ewmaGroup ≥ 0 requests dynamic look-ahead.
+func convertOne(fn *ir.Fn, l *ir.Loop, db []ir.BlockID, v ir.Value,
+	alloc *Alloc, res *Result, ewmaGroup int) error {
+
+	iv := l.Induction
+	addr := fn.Instr(v).A
+	chain, err := buildChain(fn, l, db, iv, addr)
+	if err != nil {
+		return err
+	}
+
+	// The first event must be reconstructible from an observed address:
+	// base + coeff*iv + off with a single invariant base and pow-2 coeff.
+	trig, ok := affineOf(fn, l, db, chain[0].root, iv.Phi)
+	if !ok || trig.base == ir.NoValue || trig.coeff <= 0 {
+		return fmt.Errorf("first event's address is not affine in the induction variable")
+	}
+	if _, ok := log2(trig.coeff); !ok {
+		return fmt.Errorf("element size %d is not a power of two", trig.coeff)
+	}
+
+	bound, ok := fn.LoopBound(l)
+	if !ok {
+		return fmt.Errorf("loop bound not recognised")
+	}
+	pre := fn.Preheader(l)
+	if pre < 0 {
+		return fmt.Errorf("loop has no unique preheader")
+	}
+
+	cc := &codegenCtx{
+		fn: fn, l: l, db: db, iv: iv,
+		gregs: map[ir.Value]int{}, alloc: alloc,
+		trigger: trig, ewmaGroup: ewmaGroup,
+	}
+	kernels, firstID, err := cc.compileChain(chain)
+	if err != nil {
+		return err
+	}
+
+	// Preheader configuration: hi = base + bound*coeff, then the bounds and
+	// one global-register write per loop-invariant the kernels read.
+	coeffC := fn.NewInstr(ir.Instr{Op: ir.Const, A: ir.NoValue, B: ir.NoValue, Imm: trig.coeff})
+	fn.InsertBeforeTerminator(pre, coeffC)
+	span := fn.NewInstr(ir.Instr{Op: ir.Mul, A: bound, B: coeffC})
+	fn.InsertBeforeTerminator(pre, span)
+	hi := fn.NewInstr(ir.Instr{Op: ir.Add, A: trig.base, B: span})
+	fn.InsertBeforeTerminator(pre, hi)
+
+	info := ir.CfgInfo{
+		Kind: ir.CfgBounds, Slot: alloc.slot(),
+		LoadKernel: firstID, PFKernel: ir.NoKernelID, EWMAGroup: -1,
+	}
+	if ewmaGroup >= 0 {
+		info.EWMAGroup = ewmaGroup
+		info.Interval = true
+		info.TimedStart = true
+	}
+	cfgB := fn.NewInstr(ir.Instr{Op: ir.Cfg, A: ir.NoValue, B: ir.NoValue,
+		Info: &info, Args: []ir.Value{trig.base, hi}})
+	fn.InsertBeforeTerminator(pre, cfgB)
+
+	for inv, greg := range cc.gregs {
+		gi := ir.CfgInfo{Kind: ir.CfgGlobal, GReg: greg}
+		cfgG := fn.NewInstr(ir.Instr{Op: ir.Cfg, A: ir.NoValue, B: ir.NoValue,
+			Info: &gi, Args: []ir.Value{inv}})
+		fn.InsertBeforeTerminator(pre, cfgG)
+	}
+
+	for id, prog := range kernels {
+		res.Kernels[id] = prog
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package compiler
+
+import (
+	"eventpf/internal/ir"
+	"eventpf/internal/ppu"
+)
+
+// GeneratePragmaEvents implements §6.4: for every loop whose header carries
+// "#pragma prefetch", it discovers loads that feature indirection (their
+// address depends on another load that is itself strided by the induction
+// variable), builds the same event chains the conversion pass would, and
+// configures EWMA-driven look-ahead since no explicit prefetch distance is
+// available. Loads behind data-dependent control flow inside the loop are
+// skipped — the pass, like the paper's, does not handle complicated control
+// flow — which is why it underperforms manual events on the benchmarks with
+// inner loops.
+func GeneratePragmaEvents(fn *ir.Fn, alloc *Alloc) (*Result, error) {
+	res := &Result{Kernels: map[int][]ppu.Instr{}}
+	loops := fn.Loops()
+	db := fn.DefBlocks()
+	idom := fn.Dominators()
+
+	for _, l := range loops {
+		if !fn.Block(l.Header).Pragma || l.Induction == nil {
+			continue
+		}
+		group := alloc.ewma()
+		converted := 0
+		for _, root := range terminalIndirectLoads(fn, l, db, idom) {
+			if err := convertOne(fn, l, db, root, alloc, res, group); err != nil {
+				res.Failed++
+				res.Errors = append(res.Errors, err.Error())
+				continue
+			}
+			res.Converted++
+			converted++
+		}
+		if converted == 0 {
+			res.Failed++
+		}
+	}
+	if res.Converted > 0 {
+		if err := fn.Verify(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// terminalIndirectLoads finds loads in blocks executed every iteration
+// (blocks dominating the latch) whose address depends on at least one other
+// in-loop load, and whose own value does not feed a deeper load address —
+// i.e. the ends of dependent-load chains, the accesses most likely to miss.
+func terminalIndirectLoads(fn *ir.Fn, l *ir.Loop, db []ir.BlockID, idom []ir.BlockID) []ir.Value {
+	var loads []ir.Value
+	inStraightLine := func(b ir.BlockID) bool {
+		return l.Contains(b) && ir.Dominates(idom, b, l.Latch)
+	}
+	for _, b := range fn.Blocks {
+		if !inStraightLine(b.ID) {
+			continue
+		}
+		for _, v := range b.Instrs {
+			if fn.Instr(v).Op == ir.Load {
+				loads = append(loads, v)
+			}
+		}
+	}
+
+	// dependsOnLoad reports whether the address expression of ld reaches
+	// another in-loop load (bounded walk; cycles impossible in SSA uses).
+	var reachesLoad func(v ir.Value, depth int) bool
+	reachesLoad = func(v ir.Value, depth int) bool {
+		if depth > 64 {
+			return false
+		}
+		in := fn.Instr(v)
+		if fn.LoopInvariant(l, v, db) {
+			return false
+		}
+		switch in.Op {
+		case ir.Load:
+			return true
+		case ir.Phi:
+			return false
+		}
+		for _, o := range []ir.Value{in.A, in.B} {
+			if o != ir.NoValue && reachesLoad(o, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+
+	feedsAddress := map[ir.Value]bool{}
+	for _, ld := range loads {
+		// Mark every load reachable from ld's address as address-feeding.
+		var walk func(v ir.Value, depth int)
+		walk = func(v ir.Value, depth int) {
+			if depth > 64 {
+				return
+			}
+			in := fn.Instr(v)
+			if fn.LoopInvariant(l, v, db) || in.Op == ir.Phi {
+				return
+			}
+			if in.Op == ir.Load {
+				feedsAddress[v] = true
+				walk(in.A, depth+1)
+				return
+			}
+			for _, o := range []ir.Value{in.A, in.B} {
+				if o != ir.NoValue {
+					walk(o, depth+1)
+				}
+			}
+		}
+		walk(fn.Instr(ld).A, 0)
+	}
+
+	var out []ir.Value
+	for _, ld := range loads {
+		if feedsAddress[ld] {
+			continue // an intermediate level: covered by the deeper chain
+		}
+		if reachesLoad(fn.Instr(ld).A, 0) {
+			out = append(out, ld)
+		}
+	}
+	return out
+}

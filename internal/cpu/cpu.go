@@ -1,0 +1,465 @@
+// Package cpu models the main out-of-order core of Table 1 as a
+// window-based timing model: micro-ops dispatch in order into a reorder
+// buffer, execute when their data dependences resolve (loads going to the
+// memory hierarchy), and retire in order. That reproduces the first-order
+// behaviour the paper leans on — independent loads overlap up to
+// ROB/LQ/MSHR limits while dependent loads serialise (Figure 2) — without
+// simulating a full pipeline.
+package cpu
+
+import "eventpf/internal/sim"
+
+// OpKind classifies a micro-op.
+type OpKind int
+
+// Micro-op kinds.
+const (
+	OpInt    OpKind = iota // 1-cycle integer ALU op
+	OpMul                  // 3-cycle multiply
+	OpDiv                  // 12-cycle divide
+	OpLoad                 // demand load through the cache hierarchy
+	OpStore                // store, retired into a write buffer
+	OpSWPf                 // software prefetch instruction
+	OpBranch               // conditional branch
+	OpConfig               // prefetcher configuration instruction
+)
+
+// NoDep marks an unused dependence slot.
+const NoDep int64 = -1
+
+// MicroOp is one dynamic instruction. Deps name earlier ops (by dynamic ID,
+// assigned in stream order) whose results this op consumes.
+type MicroOp struct {
+	Kind  OpKind
+	PC    int      // static instruction id (stride prefetcher, branch predictor)
+	Addr  uint64   // memory ops and software prefetches
+	Deps  [2]int64 // producing op IDs, NoDep if unused
+	Taken bool     // branches: resolved direction
+	Do    func()   // OpConfig: side effect applied at dispatch
+}
+
+// Stream supplies micro-ops in program order.
+type Stream interface {
+	// Next returns the next micro-op, or ok=false at end of program.
+	Next() (op MicroOp, ok bool)
+}
+
+// Config sizes the core (Table 1 defaults come from the harness package).
+type Config struct {
+	Clock             sim.Clock
+	Width             int   // dispatch/retire width
+	ROB               int   // reorder buffer entries
+	LQ                int   // load queue entries
+	SQ                int   // store queue entries
+	MispredictPenalty int64 // cycles of redirect after a mispredicted branch
+}
+
+// Ports connect the core to the memory system and prefetch paths.
+type Ports struct {
+	// Load issues a demand load; done must be called at completion time.
+	Load func(addr uint64, pc int, done func(at sim.Ticks))
+	// Store posts a demand store (timing-relevant only for cache state).
+	Store func(addr uint64, pc int)
+	// SWPrefetch issues a software-prefetch request.
+	SWPrefetch func(addr uint64)
+}
+
+// Stats describes one finished run.
+type Stats struct {
+	Ops         int64 // dynamic micro-ops retired
+	Loads       int64
+	Stores      int64
+	Branches    int64
+	Mispredicts int64
+	SWPrefetch  int64
+	FinishTick  sim.Ticks
+	Cycles      int64 // FinishTick in core cycles
+}
+
+const completionRing = 256 // must exceed any plausible ROB size
+
+type robEntry struct {
+	id         int64
+	kind       OpKind
+	addr       uint64
+	pc         int
+	deps       [2]int64
+	readyAt    sim.Ticks // max of resolved dep completion times and dispatch
+	unresolved int       // count of deps whose completion is still unknown
+	issued     bool
+	mispred    bool      // mispredicted branch: install redirect stall at issue
+	completeAt sim.Ticks // -1 until known
+}
+
+// Core is the timing model. Create with New, then call Run.
+type Core struct {
+	eng   *sim.Engine
+	cfg   Config
+	ports Ports
+
+	stream     Stream
+	pendingOp  *MicroOp // dispatch-rejected op, delivered before the stream
+	nextID     int64
+	rob        []robEntry // FIFO window, index 0 = oldest
+	completion [completionRing]sim.Ticks
+	known      [completionRing]bool
+	inflightLd int
+	inflightSt int
+
+	stallUntil      sim.Ticks // branch redirect: no dispatch before this
+	redirectPending bool      // a mispredicted branch has not yet resolved
+	tickPending     bool
+	done            bool
+	onDone          func()
+
+	bp    branchPredictor
+	Stats Stats
+}
+
+// New builds a core.
+func New(eng *sim.Engine, cfg Config, ports Ports) *Core {
+	if cfg.Width <= 0 || cfg.ROB <= 0 || cfg.ROB >= completionRing {
+		panic("cpu: invalid core configuration")
+	}
+	c := &Core{eng: eng, cfg: cfg, ports: ports}
+	c.bp.init()
+	return c
+}
+
+// Run begins executing the stream; onDone is called when the last op
+// retires. Run must be called before the engine runs.
+func (c *Core) Run(s Stream, onDone func()) {
+	c.stream = s
+	c.onDone = onDone
+	c.scheduleTick(c.eng.Now())
+}
+
+func (c *Core) scheduleTick(at sim.Ticks) {
+	if c.tickPending || c.done {
+		return
+	}
+	c.tickPending = true
+	c.eng.At(c.cfg.Clock.NextEdge(at), c.tick)
+}
+
+func (c *Core) wake() { c.scheduleTick(c.eng.Now()) }
+
+func (c *Core) depCompletion(id int64) (sim.Ticks, bool) {
+	if id == NoDep {
+		return 0, true
+	}
+	// Anything older than the window is certainly retired.
+	if id < c.nextID-int64(c.cfg.ROB)-8 {
+		return 0, true
+	}
+	slot := id % completionRing
+	if c.known[slot] {
+		return c.completion[slot], true
+	}
+	return 0, false
+}
+
+func (c *Core) recordCompletion(id int64, at sim.Ticks) {
+	slot := id % completionRing
+	c.completion[slot] = at
+	c.known[slot] = true
+}
+
+func (c *Core) tick() {
+	c.tickPending = false
+	now := c.eng.Now()
+
+	c.retire(now)
+	c.resolveAndIssue(now)
+	c.dispatch(now)
+
+	if len(c.rob) == 0 && c.streamDone() {
+		c.finish(now)
+		return
+	}
+	c.scheduleNext(now)
+}
+
+func (c *Core) streamDone() bool { return c.stream == nil && c.pendingOp == nil }
+
+func (c *Core) retire(now sim.Ticks) {
+	retired := 0
+	for retired < c.cfg.Width && len(c.rob) > 0 {
+		head := &c.rob[0]
+		if head.completeAt < 0 || head.completeAt > now {
+			break
+		}
+		switch head.kind {
+		case OpLoad:
+			c.inflightLd--
+			c.Stats.Loads++
+		case OpStore:
+			c.inflightSt--
+			c.Stats.Stores++
+		case OpBranch:
+			c.Stats.Branches++
+		case OpSWPf:
+			c.Stats.SWPrefetch++
+		}
+		c.Stats.Ops++
+		c.Stats.FinishTick = now
+		c.rob = c.rob[1:]
+		retired++
+	}
+}
+
+func (c *Core) resolveAndIssue(now sim.Ticks) {
+	for i := range c.rob {
+		e := &c.rob[i]
+		if e.issued {
+			continue
+		}
+		if e.unresolved > 0 {
+			e.unresolved = 0
+			for _, d := range e.deps {
+				if at, ok := c.depCompletion(d); ok {
+					if at > e.readyAt {
+						e.readyAt = at
+					}
+				} else {
+					e.unresolved++
+				}
+			}
+			if e.unresolved > 0 {
+				continue
+			}
+		}
+		c.issue(e, now)
+	}
+}
+
+func (c *Core) issue(e *robEntry, now sim.Ticks) {
+	start := e.readyAt
+	if start < now {
+		start = now
+	}
+	cyc := func(n int64) sim.Ticks { return c.cfg.Clock.Cycles(n) }
+	switch e.kind {
+	case OpInt, OpConfig, OpSWPf, OpStore, OpBranch:
+		e.completeAt = start + cyc(1)
+	case OpMul:
+		e.completeAt = start + cyc(3)
+	case OpDiv:
+		e.completeAt = start + cyc(12)
+	case OpLoad:
+		e.issued = true
+		e.completeAt = -1
+		id, addr, pc := e.id, e.addr, e.pc // e points into a slice that mutates
+		launch := func() {
+			c.ports.Load(addr, pc, func(at sim.Ticks) {
+				c.loadComplete(id, at)
+			})
+		}
+		if start > now {
+			c.eng.At(start, launch)
+		} else {
+			launch()
+		}
+		return
+	}
+	e.issued = true
+	c.recordCompletion(e.id, e.completeAt)
+	if e.mispred {
+		c.stallUntil = e.completeAt + c.cfg.Clock.Cycles(c.cfg.MispredictPenalty)
+		c.redirectPending = false
+	}
+	if e.kind == OpStore && c.ports.Store != nil {
+		addr, pc := e.addr, e.pc
+		c.eng.At(e.completeAt, func() { c.ports.Store(addr, pc) })
+	}
+	if e.kind == OpSWPf && c.ports.SWPrefetch != nil {
+		addr := e.addr
+		c.eng.At(e.completeAt, func() { c.ports.SWPrefetch(addr) })
+	}
+}
+
+func (c *Core) loadComplete(id int64, at sim.Ticks) {
+	c.recordCompletion(id, at)
+	for i := range c.rob {
+		if c.rob[i].id == id {
+			c.rob[i].completeAt = at
+			break
+		}
+	}
+	c.wake()
+}
+
+func (c *Core) dispatch(now sim.Ticks) {
+	if c.stream == nil || now < c.stallUntil || c.redirectPending {
+		return
+	}
+	for n := 0; n < c.cfg.Width; n++ {
+		if len(c.rob) >= c.cfg.ROB {
+			return
+		}
+		op, ok := c.nextOp()
+		if !ok {
+			c.stream = nil
+			return
+		}
+		switch op.Kind {
+		case OpLoad:
+			if c.inflightLd >= c.cfg.LQ {
+				// No LQ entry: hold the op until one frees at retirement.
+				c.pendingOp = &op
+				return
+			}
+			c.inflightLd++
+		case OpStore:
+			if c.inflightSt >= c.cfg.SQ {
+				c.pendingOp = &op
+				return
+			}
+			c.inflightSt++
+		case OpConfig:
+			if op.Do != nil {
+				op.Do()
+			}
+		}
+		id := c.nextID
+		c.nextID++
+		c.known[id%completionRing] = false
+		e := robEntry{
+			id: id, kind: op.Kind, addr: op.Addr, pc: op.PC,
+			deps: op.Deps, readyAt: now, completeAt: -1,
+		}
+		for _, d := range e.deps {
+			if at, ok := c.depCompletion(d); ok {
+				if at > e.readyAt {
+					e.readyAt = at
+				}
+			} else {
+				e.unresolved++
+			}
+		}
+		c.rob = append(c.rob, e)
+		if op.Kind == OpBranch {
+			if c.bp.predictAndUpdate(op.PC, op.Taken) != op.Taken {
+				c.Stats.Mispredicts++
+				// Redirect: no further dispatch until the branch resolves
+				// plus the front-end refill penalty. The stall is installed
+				// when the branch issues (its resolve time is then known).
+				c.rob[len(c.rob)-1].mispred = true
+				c.redirectPending = true
+				return
+			}
+		}
+	}
+}
+
+// nextOp pulls the next micro-op, honouring a previously rejected one.
+func (c *Core) nextOp() (MicroOp, bool) {
+	if c.pendingOp != nil {
+		op := *c.pendingOp
+		c.pendingOp = nil
+		return op, true
+	}
+	return c.stream.Next()
+}
+
+func (c *Core) scheduleNext(now sim.Ticks) {
+	// Prefer simply ticking next cycle while forward progress is plausible:
+	// something retireable, issueable or dispatchable soon.
+	next := now + c.cfg.Clock.Period
+
+	if len(c.rob) > 0 {
+		head := c.rob[0]
+		if head.completeAt >= 0 {
+			// Head has a known completion: tick then (or next cycle if past).
+			if head.completeAt > next {
+				next = head.completeAt
+			}
+			c.scheduleTick(next)
+			return
+		}
+		// Head incomplete. If it is an unissued op or there are unissued
+		// ops that may become ready, tick next cycle; if everything issued
+		// and waiting on memory, sleep until a load callback wakes us.
+		for i := range c.rob {
+			if !c.rob[i].issued {
+				c.scheduleTick(next)
+				return
+			}
+		}
+		if c.stream != nil && len(c.rob) < c.cfg.ROB && now >= c.stallUntil && !c.redirectPending {
+			c.scheduleTick(next)
+			return
+		}
+		if c.stallUntil > now {
+			c.scheduleTick(c.stallUntil)
+			return
+		}
+		return // idle: a load completion will wake us
+	}
+	// ROB empty but stream still has ops (we were stalled): tick again.
+	if c.stream != nil {
+		if c.stallUntil > next {
+			next = c.stallUntil
+		}
+		c.scheduleTick(next)
+	}
+}
+
+func (c *Core) finish(now sim.Ticks) {
+	c.done = true
+	c.Stats.FinishTick = now
+	c.Stats.Cycles = int64(now / c.cfg.Clock.Period)
+	if c.onDone != nil {
+		c.onDone()
+	}
+}
+
+// branchPredictor is a small gshare predictor: XOR of PC and global history
+// indexing a table of 2-bit counters.
+type branchPredictor struct {
+	history uint32
+	table   []uint8
+}
+
+const (
+	bpBits    = 12
+	bpEntries = 1 << bpBits
+)
+
+func (b *branchPredictor) init() {
+	b.table = make([]uint8, bpEntries)
+	for i := range b.table {
+		b.table[i] = 1 // weakly not-taken
+	}
+}
+
+func (b *branchPredictor) predictAndUpdate(pc int, taken bool) bool {
+	idx := (uint32(pc) ^ b.history) & (bpEntries - 1)
+	ctr := b.table[idx]
+	pred := ctr >= 2
+	if taken && ctr < 3 {
+		b.table[idx] = ctr + 1
+	}
+	if !taken && ctr > 0 {
+		b.table[idx] = ctr - 1
+	}
+	b.history = ((b.history << 1) | boolBit(taken)) & (bpEntries - 1)
+	return pred
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Window reports the reorder-buffer occupancy, outstanding loads and the
+// completion state of the window head (diagnostics).
+func (c *Core) Window() (rob, loads int, headComplete bool, headKind OpKind) {
+	if len(c.rob) > 0 {
+		headComplete = c.rob[0].completeAt >= 0
+		headKind = c.rob[0].kind
+	}
+	return len(c.rob), c.inflightLd, headComplete, headKind
+}

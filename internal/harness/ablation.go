@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"eventpf/internal/system"
+	"eventpf/internal/workloads"
+)
+
+// AblationRow is one design-parameter sensitivity measurement, run on HJ-8
+// (the benchmark that exercises every prefetcher structure: chains, tags,
+// queues and the scheduler).
+type AblationRow struct {
+	Parameter string
+	Value     int
+	Speedup   float64
+}
+
+// Ablations measures sensitivity to the design parameters DESIGN.md calls
+// out: observation-queue depth, prefetch-request-queue depth, and the MSHR
+// count shared with demand traffic.
+func (s *Suite) Ablations() ([]AblationRow, error) {
+	b := workloads.HJ8
+	base, err := s.run(b, NoPF)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+
+	run := func(param string, value int, mutate func(cfg *system.Config)) error {
+		cfg := system.DefaultConfig()
+		mutate(&cfg)
+		opt := s.Opt
+		opt.Config = &cfg
+		r, err := Run(b, Manual, opt)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, AblationRow{Parameter: param, Value: value, Speedup: Speedup(base, r)})
+		return nil
+	}
+
+	for _, q := range []int{5, 10, 40, 160} {
+		q := q
+		if err := run("obs-queue", q, func(cfg *system.Config) { cfg.Prefetcher.ObsQueue = q }); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range []int{25, 50, 200, 800} {
+		q := q
+		if err := run("req-queue", q, func(cfg *system.Config) { cfg.Prefetcher.ReqQueue = q }); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range []int{6, 12, 24} {
+		m := m
+		if err := run("l1-mshrs", m, func(cfg *system.Config) { cfg.L1.MSHRs = m }); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// FormatAblations renders the sensitivity table.
+func FormatAblations(rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %8s %10s\n", "parameter", "value", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %8d %9.2fx\n", r.Parameter, r.Value, r.Speedup)
+	}
+	return sb.String()
+}
+
+// ContextSwitchRow measures the cost of periodically flushing the
+// prefetcher (§5.3): with infrequent switches the loss should be small.
+type ContextSwitchRow struct {
+	IntervalCycles int64 // 0 = never
+	Speedup        float64
+}
+
+// ContextSwitches measures prefetcher-flush sensitivity on IntSort.
+func (s *Suite) ContextSwitches() ([]ContextSwitchRow, error) {
+	b := workloads.IntSort
+	base, err := s.run(b, NoPF)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ContextSwitchRow
+	for _, cyc := range []int64{0, 1_000_000, 100_000, 10_000} {
+		cfg := system.DefaultConfig()
+		cfg.ContextSwitchTicks = cyc * 5 // core cycles → ticks
+		opt := s.Opt
+		opt.Config = &cfg
+		r, err := Run(b, Manual, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ContextSwitchRow{IntervalCycles: cyc, Speedup: Speedup(base, r)})
+	}
+	return rows, nil
+}
+
+// FormatContextSwitches renders the flush-sensitivity table.
+func FormatContextSwitches(rows []ContextSwitchRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %10s\n", "switch interval", "speedup")
+	for _, r := range rows {
+		label := "never"
+		if r.IntervalCycles > 0 {
+			label = fmt.Sprintf("%d cycles", r.IntervalCycles)
+		}
+		fmt.Fprintf(&sb, "%-18s %9.2fx\n", label, r.Speedup)
+	}
+	return sb.String()
+}

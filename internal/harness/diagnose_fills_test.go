@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"eventpf/internal/compiler"
+	"eventpf/internal/mem"
+	"eventpf/internal/sim"
+	"eventpf/internal/system"
+	"eventpf/internal/workloads"
+)
+
+// TestDebugFillBreakdown classifies prefetch fills, resident hits and dead
+// evictions by data-structure region, for the manual or converted scheme.
+// Usage: DIAG_BENCH=HJ-2 DIAG_MODE=manual go test -run TestDebugFillBreakdown -v
+func TestDebugFillBreakdown(t *testing.T) {
+	name := os.Getenv("DIAG_BENCH")
+	if name == "" {
+		t.Skip("set DIAG_BENCH")
+	}
+	mode := os.Getenv("DIAG_MODE")
+	b, _ := workloads.ByName(name)
+	m := system.New(system.DefaultConfig(), system.Programmable)
+	inst := b.Build(m, 0.25)
+
+	var fn interface{ String() string }
+	_ = fn
+	variant := workloads.Plain
+	if mode == "converted" {
+		variant = workloads.SWPf
+	}
+	irFn := inst.BuildFn(variant)
+	if mode == "converted" {
+		pass, err := compiler.ConvertSoftwarePrefetches(irFn, compiler.NewAlloc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, prog := range pass.Kernels {
+			m.RegisterKernel(id, prog)
+		}
+	} else {
+		inst.Manual(m)
+	}
+
+	classify := func(line uint64) string {
+		for _, r := range m.Arena.Regions() {
+			if line >= r.Base && line < r.End() {
+				return r.Name
+			}
+		}
+		return "?"
+	}
+	fills, hits, dead := map[string]int{}, map[string]int{}, map[string]int{}
+	prevFill := m.L1.OnPrefetchFill
+	m.L1.OnPrefetchFill = func(line uint64, tag int, at sim.Ticks, filled bool) {
+		if filled {
+			fills[classify(line)]++
+		} else {
+			hits[classify(line)]++
+		}
+		if prevFill != nil {
+			prevFill(line, tag, at, filled)
+		}
+	}
+	m.L1.OnPrefetchDead = func(line uint64) { dead[classify(line)]++ }
+
+	var miss map[string]int = map[string]int{}
+	prevDem := m.L1.OnDemandAccess
+	m.L1.OnDemandAccess = func(addr uint64, pc int, hit bool) {
+		if !hit {
+			miss[classify(mem.LineAddr(addr))]++
+		}
+		if prevDem != nil {
+			prevDem(addr, pc, hit)
+		}
+	}
+
+	it := m.NewInterp(irFn, inst.Runs[0].Args...)
+	if inst.Runs[0].Before != nil {
+		inst.Runs[0].Before(m)
+	}
+	res := m.Run(it)
+	fmt.Printf("mode=%s cycles=%d la=%d\nfills: %v\nhits:  %v\ndead:  %v\ndemand misses: %v\n",
+		mode, res.Cycles, res.Lookaheads[0], fills, hits, dead, miss)
+}

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"eventpf/internal/workloads"
+)
+
+// TestDiagnose prints detailed per-scheme statistics for one benchmark.
+// Usage: DIAG_BENCH=HJ-8 DIAG_SCALE=0.1 go test ./internal/harness -run TestDiagnose -v
+func TestDiagnose(t *testing.T) {
+	name := os.Getenv("DIAG_BENCH")
+	if name == "" {
+		t.Skip("set DIAG_BENCH to run")
+	}
+	scale := 0.1
+	fmt.Sscanf(os.Getenv("DIAG_SCALE"), "%f", &scale)
+	b, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	base, err := Run(b, NoPF, Options{Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("%-14s cycles=%-9d ipc=%.3f l1=%.3f l2=%.3f dramR=%-7d avgDramLat=%d\n",
+		"no-pf", base.Cycles, float64(base.Core.Ops)/float64(base.Cycles),
+		base.L1.ReadHitRate(), base.L2.ReadHitRate(), base.DRAM.Reads, avgLat(base))
+	for _, s := range []Scheme{Stride, GHBLarge, Software, Pragma, Converted, Manual, ManualBlocked} {
+		r, err := Run(b, s, Options{Scale: scale})
+		if err == ErrUnsupported {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillLat := int64(0)
+		if r.PF.FillCount > 0 {
+			fillLat = int64(r.PF.FillLatencySum) / r.PF.FillCount / 5
+		}
+		issueLat := int64(0)
+		if r.PF.IssueCount > 0 {
+			issueLat = int64(r.PF.IssueLatencySum) / r.PF.IssueCount / 5
+		}
+		fmt.Printf("%-14s cycles=%-9d sp=%.2fx l1=%.3f l2=%.3f dramR=%-7d dramLat=%-5d late=%-6d issued=%-7d fillLat=%-6d issueLat=%-6d pfHit=%-7d pfFill=%-7d gated=%-8d drops=%d/%d/%d util=%.2f la=%d\n",
+			s, r.Cycles, Speedup(base, r), r.L1.ReadHitRate(), r.L2.ReadHitRate(),
+			r.DRAM.Reads, avgLat(r), r.L1.LateMerges, r.PF.Issued, fillLat, issueLat, r.L1.PrefetchHits, r.L1.PrefetchFills, r.PF.PumpGated,
+			r.PF.ObsDropped, r.PF.ReqDropped, r.PF.MSHRDrops,
+			r.L1.PrefetchUtilisation(), r.Lookaheads[0])
+	}
+}
+
+func avgLat(r Result) int64 {
+	if r.DRAM.Reads == 0 {
+		return 0
+	}
+	return int64(r.DRAM.LatencySum) / r.DRAM.Reads / 5
+}

@@ -1,0 +1,481 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"eventpf/internal/system"
+	"eventpf/internal/workloads"
+)
+
+// Suite memoises default-configuration runs so experiments that share
+// measurements (Figures 7, 8 and 11 all need the no-prefetch baseline) do
+// not repeat simulations.
+type Suite struct {
+	Opt   Options
+	cache map[string]Result
+}
+
+// NewSuite prepares a suite; opt.Scale scales every benchmark input.
+func NewSuite(opt Options) *Suite {
+	return &Suite{Opt: opt, cache: map[string]Result{}}
+}
+
+func (s *Suite) run(b *workloads.Benchmark, sch Scheme) (Result, error) {
+	key := b.Name + "/" + sch.String()
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	r, err := Run(b, sch, s.Opt)
+	if err != nil {
+		return r, err
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// Fig7Row is one benchmark's bars in Figure 7: speedup over no prefetching.
+// Missing bars (PageRank software/converted) are NaN.
+type Fig7Row struct {
+	Benchmark string
+	Speedup   map[Scheme]float64
+}
+
+// Fig7 reproduces Figure 7: speedups for all schemes on all benchmarks.
+func (s *Suite) Fig7() ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, b := range workloads.All {
+		base, err := s.run(b, NoPF)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig7Row{Benchmark: b.Name, Speedup: map[Scheme]float64{}}
+		for _, sch := range Schemes {
+			r, err := s.run(b, sch)
+			if err == ErrUnsupported {
+				row.Speedup[sch] = math.NaN()
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			row.Speedup[sch] = Speedup(base, r)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig7 renders the Figure 7 data as an aligned text table.
+func FormatFig7(rows []Fig7Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s", "bench")
+	for _, sch := range Schemes {
+		fmt.Fprintf(&sb, " %12s", sch)
+	}
+	sb.WriteByte('\n')
+	geo := map[Scheme][]float64{}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s", r.Benchmark)
+		for _, sch := range Schemes {
+			v := r.Speedup[sch]
+			if math.IsNaN(v) {
+				fmt.Fprintf(&sb, " %12s", "-")
+			} else {
+				fmt.Fprintf(&sb, " %11.2fx", v)
+				geo[sch] = append(geo[sch], v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-10s", "geomean")
+	for _, sch := range Schemes {
+		fmt.Fprintf(&sb, " %11.2fx", geomean(geo[sch]))
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Fig8Row is one benchmark's Figure 8 data: prefetch utilisation before L1
+// eviction (8a) and the L1 read hit rate without/with the programmable
+// prefetcher (8b), plus the L2 hit rates behind the G500-List annotation.
+type Fig8Row struct {
+	Benchmark   string
+	Utilisation float64
+	L1HitNoPF   float64
+	L1HitPF     float64
+	L2HitNoPF   float64
+	L2HitPF     float64
+}
+
+// Fig8 reproduces Figure 8.
+func (s *Suite) Fig8() ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, b := range workloads.All {
+		base, err := s.run(b, NoPF)
+		if err != nil {
+			return nil, err
+		}
+		man, err := s.run(b, Manual)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig8Row{
+			Benchmark:   b.Name,
+			Utilisation: man.L1.PrefetchUtilisation(),
+			L1HitNoPF:   base.L1.ReadHitRate(),
+			L1HitPF:     man.L1.ReadHitRate(),
+			L2HitNoPF:   base.L2.ReadHitRate(),
+			L2HitPF:     man.L2.ReadHitRate(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig8 renders both Figure 8 panels.
+func FormatFig8(rows []Fig8Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %12s %10s %10s %10s %10s\n",
+		"bench", "pf-util(8a)", "L1 no-pf", "L1 pf", "L2 no-pf", "L2 pf")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %12.2f %10.2f %10.2f %10.2f %10.2f\n",
+			r.Benchmark, r.Utilisation, r.L1HitNoPF, r.L1HitPF, r.L2HitNoPF, r.L2HitPF)
+	}
+	return sb.String()
+}
+
+// Fig9aClocks are the PPU frequencies swept in Figure 9(a).
+var Fig9aClocks = []int{250, 500, 1000, 2000}
+
+// Fig9bClocks and Fig9bPPUs are the Figure 9(b) sweep dimensions.
+var (
+	Fig9bClocks = []int{125, 250, 500, 1000, 2000, 4000}
+	Fig9bPPUs   = []int{3, 6, 12}
+)
+
+// Fig9aRow is one benchmark's speedup as PPU frequency varies (12 PPUs).
+type Fig9aRow struct {
+	Benchmark string
+	Speedup   map[int]float64 // MHz → speedup over no prefetching
+}
+
+// Fig9a reproduces Figure 9(a).
+func (s *Suite) Fig9a() ([]Fig9aRow, error) {
+	var rows []Fig9aRow
+	for _, b := range workloads.All {
+		base, err := s.run(b, NoPF)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9aRow{Benchmark: b.Name, Speedup: map[int]float64{}}
+		for _, mhz := range Fig9aClocks {
+			opt := s.Opt
+			opt.PPUMHz = mhz
+			r, err := Run(b, Manual, opt)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedup[mhz] = Speedup(base, r)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig9a renders the Figure 9(a) series.
+func FormatFig9a(rows []Fig9aRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s", "bench")
+	for _, mhz := range Fig9aClocks {
+		fmt.Fprintf(&sb, " %8dMHz", mhz)
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s", r.Benchmark)
+		for _, mhz := range Fig9aClocks {
+			fmt.Fprintf(&sb, " %10.2fx", r.Speedup[mhz])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Fig9bCell is one (PPU count, frequency) point for G500-CSR.
+type Fig9bCell struct {
+	PPUs    int
+	MHz     int
+	Speedup float64
+}
+
+// Fig9b reproduces Figure 9(b): G500-CSR speedup across PPU count and clock.
+func (s *Suite) Fig9b() ([]Fig9bCell, error) {
+	base, err := s.run(workloads.G500CSR, NoPF)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Fig9bCell
+	for _, ppus := range Fig9bPPUs {
+		for _, mhz := range Fig9bClocks {
+			opt := s.Opt
+			opt.PPUs = ppus
+			opt.PPUMHz = mhz
+			r, err := Run(workloads.G500CSR, Manual, opt)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, Fig9bCell{PPUs: ppus, MHz: mhz, Speedup: Speedup(base, r)})
+		}
+	}
+	return cells, nil
+}
+
+// FormatFig9b renders the Figure 9(b) grid.
+func FormatFig9b(cells []Fig9bCell) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s", "PPUs")
+	for _, mhz := range Fig9bClocks {
+		fmt.Fprintf(&sb, " %8dMHz", mhz)
+	}
+	sb.WriteByte('\n')
+	for _, ppus := range Fig9bPPUs {
+		fmt.Fprintf(&sb, "%-8d", ppus)
+		for _, mhz := range Fig9bClocks {
+			for _, c := range cells {
+				if c.PPUs == ppus && c.MHz == mhz {
+					fmt.Fprintf(&sb, " %10.2fx", c.Speedup)
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Fig10Row is one benchmark's PPU activity distribution (Figure 10): the
+// fraction of time each of the 12 units is awake, with the scheduler's
+// lowest-id-first policy making the spread informative.
+type Fig10Row struct {
+	Benchmark                string
+	Activity                 []float64 // per PPU, unit id order
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Fig10 reproduces Figure 10.
+func (s *Suite) Fig10() ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, b := range workloads.All {
+		r, err := s.run(b, Manual)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig10Row{Benchmark: b.Name, Activity: r.Activity}
+		sorted := append([]float64(nil), r.Activity...)
+		sort.Float64s(sorted)
+		q := func(f float64) float64 {
+			idx := f * float64(len(sorted)-1)
+			lo := int(idx)
+			if lo >= len(sorted)-1 {
+				return sorted[len(sorted)-1]
+			}
+			frac := idx - float64(lo)
+			return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+		}
+		row.Min, row.Q1, row.Median, row.Q3, row.Max = q(0), q(0.25), q(0.5), q(0.75), q(1)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig10 renders the Figure 10 box data.
+func FormatFig10(rows []Fig10Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %6s %6s %6s %6s %6s\n", "bench", "min", "q1", "med", "q3", "max")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %6.2f %6.2f %6.2f %6.2f %6.2f\n",
+			r.Benchmark, r.Min, r.Q1, r.Median, r.Q3, r.Max)
+	}
+	return sb.String()
+}
+
+// Fig11Row compares event-triggered execution with blocking on
+// intermediate loads (Figure 11).
+type Fig11Row struct {
+	Benchmark string
+	Blocked   float64
+	Events    float64
+}
+
+// Fig11 reproduces Figure 11.
+func (s *Suite) Fig11() ([]Fig11Row, error) {
+	var rows []Fig11Row
+	for _, b := range workloads.All {
+		base, err := s.run(b, NoPF)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := s.run(b, Manual)
+		if err != nil {
+			return nil, err
+		}
+		bl, err := s.run(b, ManualBlocked)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig11Row{
+			Benchmark: b.Name,
+			Blocked:   Speedup(base, bl),
+			Events:    Speedup(base, ev),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig11 renders the Figure 11 comparison.
+func FormatFig11(rows []Fig11Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %10s %10s\n", "bench", "blocked", "events")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %9.2fx %9.2fx\n", r.Benchmark, r.Blocked, r.Events)
+	}
+	return sb.String()
+}
+
+// InstrRow is the §7.1 dynamic-instruction-overhead analysis of software
+// prefetching.
+type InstrRow struct {
+	Benchmark   string
+	PlainOps    int64
+	SWPfOps     int64
+	IncreasePct float64
+}
+
+// InstrOverhead reproduces the §7.1 instruction-increase numbers
+// (paper: IntSort +113 %, RandAcc +83 %, HJ-2 +56 %).
+func (s *Suite) InstrOverhead() ([]InstrRow, error) {
+	var rows []InstrRow
+	for _, b := range workloads.All {
+		base, err := s.run(b, NoPF)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := s.run(b, Software)
+		if err == ErrUnsupported {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, InstrRow{
+			Benchmark:   b.Name,
+			PlainOps:    base.Core.Ops,
+			SWPfOps:     sw.Core.Ops,
+			IncreasePct: 100 * (float64(sw.Core.Ops)/float64(base.Core.Ops) - 1),
+		})
+	}
+	return rows, nil
+}
+
+// FormatInstrOverhead renders the instruction-overhead analysis.
+func FormatInstrOverhead(rows []InstrRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %12s %12s %10s\n", "bench", "plain ops", "swpf ops", "increase")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %12d %12d %9.0f%%\n", r.Benchmark, r.PlainOps, r.SWPfOps, r.IncreasePct)
+	}
+	return sb.String()
+}
+
+// ExtraMemRow is the §7.2 extra-memory-traffic analysis: DRAM reads with
+// the programmable prefetcher relative to no prefetching
+// (paper: G500-List +40 %, G500-CSR +16 %, the rest negligible).
+type ExtraMemRow struct {
+	Benchmark string
+	BaseReads int64
+	PFReads   int64
+	ExtraPct  float64
+}
+
+// ExtraMem reproduces the extra-memory-access analysis.
+func (s *Suite) ExtraMem() ([]ExtraMemRow, error) {
+	var rows []ExtraMemRow
+	for _, b := range workloads.All {
+		base, err := s.run(b, NoPF)
+		if err != nil {
+			return nil, err
+		}
+		man, err := s.run(b, Manual)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExtraMemRow{
+			Benchmark: b.Name,
+			BaseReads: base.DRAM.Reads,
+			PFReads:   man.DRAM.Reads,
+			ExtraPct:  100 * (float64(man.DRAM.Reads)/float64(base.DRAM.Reads) - 1),
+		})
+	}
+	return rows, nil
+}
+
+// FormatExtraMem renders the extra-traffic analysis.
+func FormatExtraMem(rows []ExtraMemRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %12s %12s %10s\n", "bench", "no-pf reads", "pf reads", "extra")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %12d %12d %9.0f%%\n", r.Benchmark, r.BaseReads, r.PFReads, r.ExtraPct)
+	}
+	return sb.String()
+}
+
+// Table1 renders the simulated-machine configuration (the paper's Table 1).
+func Table1(opt Options) string {
+	cfg := *optConfig(opt)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Core      %d-wide OoO @%d MHz, ROB %d, LQ %d, SQ %d, mispredict %d cycles\n",
+		cfg.Width, cfg.CoreMHz, cfg.ROB, cfg.LQ, cfg.SQ, cfg.MispredictPenalty)
+	fmt.Fprintf(&sb, "L1D       %d KB %d-way, %d-cycle hit, %d MSHRs\n",
+		cfg.L1.SizeBytes>>10, cfg.L1.Ways, cfg.L1.HitCycles, cfg.L1.MSHRs)
+	fmt.Fprintf(&sb, "L2        %d KB %d-way, %d-cycle hit, %d MSHRs\n",
+		cfg.L2.SizeBytes>>10, cfg.L2.Ways, cfg.L2.HitCycles, cfg.L2.MSHRs)
+	fmt.Fprintf(&sb, "TLB       L1 %d-entry, L2 %d-entry %d-way (%d-cycle), %d walkers\n",
+		cfg.TLB.L1Entries, cfg.TLB.L2Entries, cfg.TLB.L2Ways, cfg.TLB.L2HitCycles, cfg.TLB.Walks)
+	fmt.Fprintf(&sb, "DRAM      DDR3-%d-ish %d-%d-%d, %d banks, %d B rows\n",
+		cfg.DRAM.BusMHz*2, cfg.DRAM.TRCD, cfg.DRAM.TCAS, cfg.DRAM.TRP, cfg.DRAM.Banks, cfg.DRAM.RowBytes)
+	fmt.Fprintf(&sb, "Prefetch  %d PPUs @%d ticks/cycle, obs queue %d, request queue %d\n",
+		cfg.Prefetcher.NumPPUs, cfg.Prefetcher.PPUClock.Period, cfg.Prefetcher.ObsQueue, cfg.Prefetcher.ReqQueue)
+	fmt.Fprintf(&sb, "Stride    RPT %d entries, degree %d\n", cfg.Stride.Entries, cfg.Stride.Degree)
+	fmt.Fprintf(&sb, "GHB       Markov depth %d width %d, index/GHB %d/%d (regular)\n",
+		cfg.GHB.Depth, cfg.GHB.Width, cfg.GHB.IndexSize, cfg.GHB.GHBSize)
+	return sb.String()
+}
+
+func optConfig(opt Options) *system.Config {
+	if opt.Config != nil {
+		return opt.Config
+	}
+	cfg := system.DefaultConfig()
+	return &cfg
+}
+
+// Table2 renders the benchmark summary (the paper's Table 2).
+func Table2() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-10s %-45s %s\n", "bench", "source", "pattern", "paper input")
+	for _, b := range workloads.All {
+		fmt.Fprintf(&sb, "%-10s %-10s %-45s %s\n", b.Name, b.Source, b.Pattern, b.Input)
+	}
+	return sb.String()
+}

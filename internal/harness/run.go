@@ -1,0 +1,222 @@
+// Package harness runs benchmarks under the paper's comparison schemes and
+// regenerates every table and figure of the evaluation (§7). It is the glue
+// between workloads, the compiler passes and the simulated machine.
+package harness
+
+import (
+	"fmt"
+
+	"eventpf/internal/compiler"
+	"eventpf/internal/cpu"
+	"eventpf/internal/ir"
+	"eventpf/internal/prefetch"
+	"eventpf/internal/sim"
+	"eventpf/internal/system"
+	"eventpf/internal/workloads"
+)
+
+// Scheme is one bar of Figure 7 (plus the Figure 11 blocked variant).
+type Scheme int
+
+// The paper's comparison schemes.
+const (
+	NoPF Scheme = iota
+	Stride
+	GHBRegular
+	GHBLarge
+	Software
+	Pragma
+	Converted
+	Manual
+	ManualBlocked // Figure 11: events replaced by blocking loads
+)
+
+// Schemes lists the Figure 7 bars in presentation order.
+var Schemes = []Scheme{Stride, GHBRegular, GHBLarge, Software, Pragma, Converted, Manual}
+
+func (s Scheme) String() string {
+	switch s {
+	case NoPF:
+		return "no-pf"
+	case Stride:
+		return "stride"
+	case GHBRegular:
+		return "ghb-regular"
+	case GHBLarge:
+		return "ghb-large"
+	case Software:
+		return "software"
+	case Pragma:
+		return "pragma"
+	case Converted:
+		return "converted"
+	case Manual:
+		return "manual"
+	case ManualBlocked:
+		return "manual-blocked"
+	}
+	return "unknown"
+}
+
+// MarshalText makes schemes render as their names in JSON output.
+func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// ErrUnsupported reports a benchmark/scheme pair that does not exist, such
+// as software prefetching for PageRank (§7.1).
+var ErrUnsupported = fmt.Errorf("harness: scheme not applicable to this benchmark")
+
+// Options adjusts a run away from the Table 1 defaults.
+type Options struct {
+	// Scale multiplies the benchmark's default reduced input size;
+	// 0 means 1.0.
+	Scale float64
+	// PPUs and PPUMHz override the prefetcher sizing (Figure 9); 0 keeps
+	// the default 12 units at 1000 MHz.
+	PPUs   int
+	PPUMHz int
+	// Config, if non-nil, replaces the whole machine configuration.
+	Config *system.Config
+	// TraceLast, if positive, attaches a ring tracer of that size to the
+	// programmable prefetcher and returns it in Result.Trace.
+	TraceLast int
+}
+
+// Result is one benchmark × scheme measurement.
+type Result struct {
+	Benchmark string
+	Scheme    Scheme
+	system.Result
+	// Pass reports compiler-pass statistics for Pragma/Converted runs.
+	Pass *compiler.Result
+	// Trace holds the retained prefetcher events when Options.TraceLast > 0.
+	Trace *prefetch.RingTracer
+}
+
+// Run executes one benchmark under one scheme and validates the result
+// against the benchmark's oracle.
+func Run(b *workloads.Benchmark, scheme Scheme, opt Options) (Result, error) {
+	if opt.Scale == 0 {
+		opt.Scale = 1.0
+	}
+	cfg := system.DefaultConfig()
+	if opt.Config != nil {
+		cfg = *opt.Config
+	}
+	if opt.PPUs > 0 {
+		cfg.Prefetcher.NumPPUs = opt.PPUs
+	}
+	if opt.PPUMHz > 0 {
+		cfg.Prefetcher.PPUClock = mustClock(opt.PPUMHz)
+	}
+	if scheme == ManualBlocked {
+		cfg.Prefetcher.Blocked = true
+	}
+
+	m := system.New(cfg, machineScheme(scheme))
+	inst := b.Build(m, opt.Scale)
+
+	var tracer *prefetch.RingTracer
+	if opt.TraceLast > 0 && m.PF != nil {
+		tracer = prefetch.NewRingTracer(opt.TraceLast)
+		m.PF.Tracer = tracer
+	}
+
+	fn := inst.BuildFn(variantFor(scheme))
+	if fn == nil {
+		return Result{}, ErrUnsupported
+	}
+
+	res := Result{Benchmark: b.Name, Scheme: scheme}
+	switch scheme {
+	case Converted:
+		pass, err := compiler.ConvertSoftwarePrefetches(fn, compiler.NewAlloc())
+		if err != nil {
+			return res, fmt.Errorf("%s: conversion pass: %w", b.Name, err)
+		}
+		for id, prog := range pass.Kernels {
+			m.RegisterKernel(id, prog)
+		}
+		res.Pass = pass
+	case Pragma:
+		pass, err := compiler.GeneratePragmaEvents(fn, compiler.NewAlloc())
+		if err != nil {
+			return res, fmt.Errorf("%s: pragma pass: %w", b.Name, err)
+		}
+		for id, prog := range pass.Kernels {
+			m.RegisterKernel(id, prog)
+		}
+		res.Pass = pass
+	case Manual, ManualBlocked:
+		inst.Manual(m)
+	}
+
+	var streams []cpu.Stream
+	var last *ir.Interp
+	for _, run := range inst.Runs {
+		run := run
+		it := m.NewInterp(fn, run.Args...)
+		last = it
+		if run.Before != nil {
+			streams = append(streams, &hookStream{hook: func() { run.Before(m) }, inner: it})
+		} else {
+			streams = append(streams, it)
+		}
+	}
+	res.Result = m.Run(ir.Seq(streams...))
+	res.Trace = tracer
+
+	ret, hasRet := last.Result()
+	if err := inst.Check(m, ret, hasRet); err != nil {
+		return res, fmt.Errorf("%s under %s: oracle mismatch: %w", b.Name, scheme, err)
+	}
+	return res, nil
+}
+
+func machineScheme(s Scheme) system.Scheme {
+	switch s {
+	case Stride:
+		return system.StridePF
+	case GHBRegular:
+		return system.GHBRegular
+	case GHBLarge:
+		return system.GHBLarge
+	case Pragma, Converted, Manual, ManualBlocked:
+		return system.Programmable
+	default: // NoPF, Software
+		return system.NoPF
+	}
+}
+
+func variantFor(s Scheme) workloads.Variant {
+	switch s {
+	case Software, Converted:
+		return workloads.SWPf
+	case Pragma:
+		return workloads.Pragma
+	default:
+		return workloads.Plain
+	}
+}
+
+// hookStream runs a functional callback (e.g. Graph500's parent reset)
+// when its first micro-op is pulled, then delegates.
+type hookStream struct {
+	hook  func()
+	fired bool
+	inner cpu.Stream
+}
+
+func (h *hookStream) Next() (cpu.MicroOp, bool) {
+	if !h.fired {
+		h.fired = true
+		h.hook()
+	}
+	return h.inner.Next()
+}
+
+// Speedup returns base cycles / this run's cycles.
+func Speedup(base, run Result) float64 {
+	return float64(base.Cycles) / float64(run.Cycles)
+}
+
+func mustClock(mhz int) sim.Clock { return sim.ClockFromMHz(mhz) }

@@ -1,0 +1,340 @@
+// Package ir defines the small SSA intermediate representation in which the
+// benchmarks' timed kernels are written, playing the role LLVM IR plays in
+// the paper. The same IR form feeds three consumers: the interpreter (which
+// executes the kernel functionally and drives the simulated core with one
+// micro-op per dynamic instruction), the software-prefetch-to-event
+// conversion pass (the paper's Algorithm 1), and the pragma event-generation
+// pass (§6.4).
+package ir
+
+import "fmt"
+
+// Op is an IR instruction opcode.
+type Op int
+
+// Instruction opcodes. All values are 64-bit integers; addresses are values.
+const (
+	Nop   Op = iota // removed instruction (left by DCE)
+	Const           // materialise Imm
+	Arg             // function argument Imm
+
+	Add
+	Sub
+	Mul
+	Div // unsigned
+	Rem // unsigned
+	And
+	Or
+	Xor
+	Shl
+	Shr // logical
+
+	CmpEQ // 1 if A == B else 0
+	CmpNE
+	CmpLT  // signed
+	CmpLTU // unsigned
+	CmpGE  // signed
+	CmpGEU // unsigned
+
+	Phi // one incoming value per predecessor, in Preds order
+
+	Load  // *A
+	Store // *A = B
+	SWPf  // software prefetch of address A
+	Cfg   // prefetcher configuration (CfgInfo + evaluated Args)
+
+	Br     // unconditional jump to Blocks[0]
+	CondBr // if A != 0 jump to Blocks[0] else Blocks[1]
+	Ret    // return A (or nothing if A == NoValue)
+)
+
+var opNames = map[Op]string{
+	Nop: "nop", Const: "const", Arg: "arg",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr",
+	CmpEQ: "cmpeq", CmpNE: "cmpne", CmpLT: "cmplt", CmpLTU: "cmpltu",
+	CmpGE: "cmpge", CmpGEU: "cmpgeu",
+	Phi: "phi", Load: "load", Store: "store", SWPf: "swpf", Cfg: "cfg",
+	Br: "br", CondBr: "condbr", Ret: "ret",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// IsBinary reports whether the op takes two value operands A and B.
+func (o Op) IsBinary() bool { return o >= Add && o <= CmpGEU }
+
+// IsTerminator reports whether the op ends a basic block.
+func (o Op) IsTerminator() bool { return o == Br || o == CondBr || o == Ret }
+
+// Value identifies an instruction (and its SSA result) within a function.
+type Value int
+
+// NoValue marks an unused operand slot.
+const NoValue Value = -1
+
+// BlockID identifies a basic block within a function.
+type BlockID int
+
+// CfgKind selects which prefetcher-configuration action a Cfg instruction
+// performs; the arguments are the instruction's Args, evaluated at run time.
+type CfgKind int
+
+// Configuration kinds.
+const (
+	// CfgBounds installs an address-filter range: Args = [lo, hi].
+	CfgBounds CfgKind = iota
+	// CfgGlobal writes a prefetcher global register: Args = [value].
+	CfgGlobal
+)
+
+// NoKernelID marks an unset kernel reference in CfgInfo.
+const NoKernelID = -1
+
+// CfgInfo carries the compile-time constants of a Cfg instruction.
+type CfgInfo struct {
+	Kind       CfgKind
+	Slot       int  // filter-table slot (CfgBounds)
+	LoadKernel int  // kernel id run on demand-load observations, -1 none
+	PFKernel   int  // kernel id run on prefetch-fill observations, -1 none
+	EWMAGroup  int  // EWMA group this range participates in, -1 none
+	Interval   bool // range is the EWMA interval source (e.g. the base array)
+	TimedStart bool // loads here start a timed prefetch chain
+	TimedEnd   bool // fills here end a timed prefetch chain
+	GReg       int  // global register index (CfgGlobal)
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op     Op
+	A, B   Value      // primary operands (NoValue if unused)
+	Imm    int64      // Const value, Arg index
+	Args   []Value    // Phi incoming values; Cfg arguments
+	Blocks [2]BlockID // branch targets
+	Info   *CfgInfo   // Cfg only
+	Sym    string     // optional annotation: region name for memory ops
+}
+
+// Operands appends all value operands of the instruction to dst.
+func (in *Instr) Operands(dst []Value) []Value {
+	if in.A != NoValue {
+		dst = append(dst, in.A)
+	}
+	if in.B != NoValue {
+		dst = append(dst, in.B)
+	}
+	for _, a := range in.Args {
+		if a != NoValue {
+			dst = append(dst, a)
+		}
+	}
+	return dst
+}
+
+// Block is a basic block: a run of instructions ending in a terminator.
+type Block struct {
+	ID     BlockID
+	Instrs []Value
+	Preds  []BlockID
+	// Pragma marks a loop header annotated "#pragma prefetch" (§6.4).
+	Pragma bool
+	// Name is an optional label for printing.
+	Name string
+}
+
+// Fn is a single-function IR unit. Functions cannot call other functions,
+// mirroring the paper's restriction on PPU kernels and keeping benchmark
+// kernels self-contained.
+type Fn struct {
+	Name   string
+	NArgs  int
+	Instrs []Instr
+	Blocks []*Block
+	Entry  BlockID
+}
+
+// Instr returns the instruction defining v.
+func (f *Fn) Instr(v Value) *Instr { return &f.Instrs[v] }
+
+// Block returns the block with the given id.
+func (f *Fn) Block(id BlockID) *Block { return f.Blocks[id] }
+
+// Succs returns the successor block ids of b.
+func (f *Fn) Succs(b *Block) []BlockID {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := f.Instr(b.Instrs[len(b.Instrs)-1])
+	switch last.Op {
+	case Br:
+		return []BlockID{last.Blocks[0]}
+	case CondBr:
+		return []BlockID{last.Blocks[0], last.Blocks[1]}
+	}
+	return nil
+}
+
+// defBlock returns the block containing each instruction.
+func (f *Fn) defBlocks() []BlockID {
+	db := make([]BlockID, len(f.Instrs))
+	for i := range db {
+		db[i] = -1
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			db[v] = b.ID
+		}
+	}
+	return db
+}
+
+// Builder constructs a Fn incrementally. Typical use:
+//
+//	b := ir.NewBuilder("kernel", 2)
+//	entry, loop, exit := b.NewBlock("entry"), b.NewBlock("loop"), b.NewBlock("exit")
+//	b.SetBlock(entry)
+//	...
+//	fn := b.Finish()
+type Builder struct {
+	fn  *Fn
+	cur *Block
+}
+
+// NewBuilder starts a function with the given name and argument count.
+func NewBuilder(name string, nargs int) *Builder {
+	return &Builder{fn: &Fn{Name: name, NArgs: nargs}}
+}
+
+// NewBlock adds an empty block.
+func (b *Builder) NewBlock(name string) BlockID {
+	blk := &Block{ID: BlockID(len(b.fn.Blocks)), Name: name}
+	b.fn.Blocks = append(b.fn.Blocks, blk)
+	return blk.ID
+}
+
+// SetBlock directs subsequent instructions into blk.
+func (b *Builder) SetBlock(blk BlockID) { b.cur = b.fn.Blocks[blk] }
+
+// Current returns the block under construction.
+func (b *Builder) Current() BlockID { return b.cur.ID }
+
+// MarkPragma annotates blk as a "#pragma prefetch" loop header.
+func (b *Builder) MarkPragma(blk BlockID) { b.fn.Blocks[blk].Pragma = true }
+
+func (b *Builder) emit(in Instr) Value {
+	if b.cur == nil {
+		panic("ir: no current block")
+	}
+	v := Value(len(b.fn.Instrs))
+	b.fn.Instrs = append(b.fn.Instrs, in)
+	b.cur.Instrs = append(b.cur.Instrs, v)
+	return v
+}
+
+// Const materialises a constant.
+func (b *Builder) Const(imm int64) Value {
+	return b.emit(Instr{Op: Const, A: NoValue, B: NoValue, Imm: imm})
+}
+
+// Arg reads function argument i.
+func (b *Builder) Arg(i int) Value {
+	if i < 0 || i >= b.fn.NArgs {
+		panic("ir: argument index out of range")
+	}
+	return b.emit(Instr{Op: Arg, A: NoValue, B: NoValue, Imm: int64(i)})
+}
+
+// Bin emits a binary operation.
+func (b *Builder) Bin(op Op, x, y Value) Value {
+	if !op.IsBinary() {
+		panic("ir: Bin with non-binary op " + op.String())
+	}
+	return b.emit(Instr{Op: op, A: x, B: y})
+}
+
+// Convenience wrappers for the common binary ops.
+func (b *Builder) Add(x, y Value) Value { return b.Bin(Add, x, y) }
+func (b *Builder) Sub(x, y Value) Value { return b.Bin(Sub, x, y) }
+func (b *Builder) Mul(x, y Value) Value { return b.Bin(Mul, x, y) }
+func (b *Builder) And(x, y Value) Value { return b.Bin(And, x, y) }
+func (b *Builder) Xor(x, y Value) Value { return b.Bin(Xor, x, y) }
+func (b *Builder) Shl(x, y Value) Value { return b.Bin(Shl, x, y) }
+func (b *Builder) Shr(x, y Value) Value { return b.Bin(Shr, x, y) }
+
+// Phi emits a phi node; complete it with SetPhiArgs once the incoming values
+// exist (loop-carried values are not known when the header is built).
+func (b *Builder) Phi() Value {
+	return b.emit(Instr{Op: Phi, A: NoValue, B: NoValue})
+}
+
+// SetPhiArgs sets the incoming values of phi, one per predecessor of its
+// block, in predecessor order.
+func (b *Builder) SetPhiArgs(phi Value, args ...Value) {
+	in := b.fn.Instr(phi)
+	if in.Op != Phi {
+		panic("ir: SetPhiArgs on non-phi")
+	}
+	in.Args = append([]Value(nil), args...)
+}
+
+// Load emits *addr; sym optionally names the region for readability and for
+// the compiler's bounds inference.
+func (b *Builder) Load(addr Value, sym string) Value {
+	return b.emit(Instr{Op: Load, A: addr, B: NoValue, Sym: sym})
+}
+
+// Store emits *addr = val.
+func (b *Builder) Store(addr, val Value, sym string) Value {
+	return b.emit(Instr{Op: Store, A: addr, B: val, Sym: sym})
+}
+
+// SWPf emits a software prefetch of addr.
+func (b *Builder) SWPf(addr Value, sym string) Value {
+	return b.emit(Instr{Op: SWPf, A: addr, B: NoValue, Sym: sym})
+}
+
+// Cfg emits a prefetcher-configuration instruction.
+func (b *Builder) Cfg(info CfgInfo, args ...Value) Value {
+	ci := info
+	return b.emit(Instr{Op: Cfg, A: NoValue, B: NoValue, Info: &ci, Args: append([]Value(nil), args...)})
+}
+
+// Br ends the current block with a jump, recording the predecessor edge.
+func (b *Builder) Br(target BlockID) {
+	b.emit(Instr{Op: Br, A: NoValue, B: NoValue, Blocks: [2]BlockID{target, -1}})
+	b.addPred(target)
+}
+
+// CondBr ends the current block with a conditional branch.
+func (b *Builder) CondBr(cond Value, then, els BlockID) {
+	b.emit(Instr{Op: CondBr, A: cond, B: NoValue, Blocks: [2]BlockID{then, els}})
+	b.addPred(then)
+	b.addPred(els)
+}
+
+// Ret ends the current block returning v (NoValue for void).
+func (b *Builder) Ret(v Value) {
+	b.emit(Instr{Op: Ret, A: v, B: NoValue, Blocks: [2]BlockID{-1, -1}})
+}
+
+func (b *Builder) addPred(target BlockID) {
+	t := b.fn.Blocks[target]
+	t.Preds = append(t.Preds, b.cur.ID)
+}
+
+// Finish verifies and returns the function.
+func (b *Builder) Finish() (*Fn, error) {
+	if err := b.fn.Verify(); err != nil {
+		return nil, err
+	}
+	return b.fn, nil
+}
+
+// MustFinish is Finish, panicking on verification failure; for use in
+// benchmark definitions where the IR is fixed at build time.
+func (b *Builder) MustFinish() *Fn {
+	fn, err := b.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("ir: %s: %v", b.fn.Name, err))
+	}
+	return fn
+}

@@ -1,0 +1,116 @@
+package ir
+
+// Loop describes one natural loop found in a function's CFG.
+type Loop struct {
+	Header BlockID
+	Latch  BlockID // source of the back edge
+	Blocks map[BlockID]bool
+
+	// Induction describes the canonical induction variable, if one was
+	// recognised: a phi in the header of the form
+	//   iv = phi [init, preheader], [iv + step, latch]
+	Induction *InductionVar
+}
+
+// InductionVar is a recognised affine induction variable.
+type InductionVar struct {
+	Phi    Value
+	Init   Value // incoming value from outside the loop
+	Step   int64 // constant increment per iteration
+	Update Value // the add instruction producing the next value
+}
+
+// Contains reports whether the loop body includes block id.
+func (l *Loop) Contains(id BlockID) bool { return l.Blocks[id] }
+
+// Loops finds all natural loops (back edges a→h where h dominates a) and
+// recognises their induction variables. Loops are returned headers-first in
+// block order; nested loops appear as separate entries.
+func (f *Fn) Loops() []*Loop {
+	idom := f.Dominators()
+	var loops []*Loop
+	for _, b := range f.Blocks {
+		if idom[b.ID] == -1 {
+			continue
+		}
+		for _, s := range f.Succs(b) {
+			if Dominates(idom, s, b.ID) {
+				loops = append(loops, f.naturalLoop(s, b.ID))
+			}
+		}
+	}
+	for _, l := range loops {
+		l.Induction = f.findInduction(l)
+	}
+	return loops
+}
+
+func (f *Fn) naturalLoop(header, latch BlockID) *Loop {
+	l := &Loop{Header: header, Latch: latch, Blocks: map[BlockID]bool{header: true}}
+	stack := []BlockID{latch}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if l.Blocks[id] {
+			continue
+		}
+		l.Blocks[id] = true
+		for _, p := range f.Block(id).Preds {
+			stack = append(stack, p)
+		}
+	}
+	return l
+}
+
+// findInduction recognises iv = phi [init, out], [iv+const, in-loop].
+func (f *Fn) findInduction(l *Loop) *InductionVar {
+	header := f.Block(l.Header)
+	for _, v := range header.Instrs {
+		in := f.Instr(v)
+		if in.Op != Phi {
+			break
+		}
+		var init, update Value = NoValue, NoValue
+		for pi, a := range in.Args {
+			if l.Contains(header.Preds[pi]) {
+				update = a
+			} else {
+				init = a
+			}
+		}
+		if init == NoValue || update == NoValue {
+			continue
+		}
+		u := f.Instr(update)
+		if u.Op != Add {
+			continue
+		}
+		var stepV Value
+		switch {
+		case u.A == v:
+			stepV = u.B
+		case u.B == v:
+			stepV = u.A
+		default:
+			continue
+		}
+		s := f.Instr(stepV)
+		if s.Op != Const {
+			continue
+		}
+		return &InductionVar{Phi: v, Init: init, Step: s.Imm, Update: update}
+	}
+	return nil
+}
+
+// LoopInvariant reports whether v is invariant in loop l: a constant, an
+// argument, or an instruction outside the loop body. (Instructions inside
+// the loop whose operands are all invariant are conservatively treated as
+// variant; the compiler passes hoist only whole values defined outside.)
+func (f *Fn) LoopInvariant(l *Loop, v Value, defBlocks []BlockID) bool {
+	in := f.Instr(v)
+	if in.Op == Const || in.Op == Arg {
+		return true
+	}
+	return !l.Contains(defBlocks[v])
+}

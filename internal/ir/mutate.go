@@ -1,0 +1,114 @@
+package ir
+
+// Mutation helpers used by the compiler passes. They keep the SSA invariants
+// the verifier checks; callers should re-run Verify in tests after a pass.
+
+// DefBlocks returns, for each value, the id of the block defining it
+// (-1 for values not placed in any block).
+func (f *Fn) DefBlocks() []BlockID { return f.defBlocks() }
+
+// NewInstr appends an instruction to the function's value table without
+// placing it in a block; combine with InsertBeforeTerminator.
+func (f *Fn) NewInstr(in Instr) Value {
+	v := Value(len(f.Instrs))
+	f.Instrs = append(f.Instrs, in)
+	return v
+}
+
+// InsertBeforeTerminator places v (created with NewInstr) immediately
+// before the terminator of block id.
+func (f *Fn) InsertBeforeTerminator(id BlockID, v Value) {
+	b := f.Blocks[id]
+	n := len(b.Instrs)
+	b.Instrs = append(b.Instrs, 0)
+	copy(b.Instrs[n:], b.Instrs[n-1:n])
+	b.Instrs[n-1] = v
+}
+
+// RemoveInstr turns v into a Nop, detaching its operands. The instruction
+// stays in its block (the interpreter skips Nops), preserving value ids.
+func (f *Fn) RemoveInstr(v Value) {
+	f.Instrs[v] = Instr{Op: Nop, A: NoValue, B: NoValue}
+}
+
+// Preheader returns the unique out-of-loop predecessor of the loop header,
+// or -1 if the loop has none (or more than one).
+func (f *Fn) Preheader(l *Loop) BlockID {
+	pre := BlockID(-1)
+	for _, p := range f.Block(l.Header).Preds {
+		if l.Contains(p) {
+			continue
+		}
+		if pre != -1 {
+			return -1
+		}
+		pre = p
+	}
+	return pre
+}
+
+// LoopBound recognises the canonical exit test
+//
+//	condbr (cmplt/cmpltu/cmpne iv, n), body, exit
+//
+// in the loop header with loop-invariant n, and returns n.
+func (f *Fn) LoopBound(l *Loop) (Value, bool) {
+	if l.Induction == nil {
+		return NoValue, false
+	}
+	header := f.Block(l.Header)
+	term := f.Instr(header.Instrs[len(header.Instrs)-1])
+	if term.Op != CondBr {
+		return NoValue, false
+	}
+	cmp := f.Instr(term.A)
+	switch cmp.Op {
+	case CmpLT, CmpLTU, CmpNE:
+	default:
+		return NoValue, false
+	}
+	if cmp.A != l.Induction.Phi {
+		return NoValue, false
+	}
+	db := f.defBlocks()
+	if !f.LoopInvariant(l, cmp.B, db) {
+		return NoValue, false
+	}
+	return cmp.B, true
+}
+
+// DeadCodeElim removes instructions whose results are unused and which have
+// no side effects (including loads whose values became dead after software
+// prefetches were converted away). Returns how many instructions it removed.
+func (f *Fn) DeadCodeElim() int {
+	live := make([]bool, len(f.Instrs))
+	var mark func(v Value)
+	mark = func(v Value) {
+		if v == NoValue || live[v] {
+			return
+		}
+		live[v] = true
+		in := f.Instr(v)
+		mark(in.A)
+		mark(in.B)
+		for _, a := range in.Args {
+			mark(a)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			switch f.Instr(v).Op {
+			case Store, Cfg, SWPf, Br, CondBr, Ret:
+				mark(v)
+			}
+		}
+	}
+	removed := 0
+	for v := range f.Instrs {
+		if !live[v] && f.Instrs[v].Op != Nop {
+			f.RemoveInstr(Value(v))
+			removed++
+		}
+	}
+	return removed
+}

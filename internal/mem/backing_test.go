@@ -1,0 +1,132 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBackingReadWrite(t *testing.T) {
+	b := NewBacking()
+	b.MapPage(0x1000)
+	b.Write64(0x1008, 42)
+	if got := b.Read64(0x1008); got != 42 {
+		t.Errorf("Read64 = %d, want 42", got)
+	}
+	if got := b.Read64(0x1000); got != 0 {
+		t.Errorf("unwritten word = %d, want 0", got)
+	}
+}
+
+func TestBackingUnmappedPanics(t *testing.T) {
+	b := NewBacking()
+	defer func() {
+		if recover() == nil {
+			t.Error("read of unmapped address did not panic")
+		}
+	}()
+	b.Read64(0x5000)
+}
+
+func TestBackingMisalignedPanics(t *testing.T) {
+	b := NewBacking()
+	b.MapPage(0x1000)
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned read did not panic")
+		}
+	}()
+	b.Read64(0x1004)
+}
+
+func TestReadLine(t *testing.T) {
+	b := NewBacking()
+	b.MapPage(0x1000)
+	for i := uint64(0); i < 8; i++ {
+		b.Write64(0x1040+i*8, 100+i)
+	}
+	line := b.ReadLine(0x1050) // any address inside the line
+	for i := uint64(0); i < 8; i++ {
+		if line[i] != 100+i {
+			t.Errorf("line[%d] = %d, want %d", i, line[i], 100+i)
+		}
+	}
+}
+
+func TestArenaGuardGap(t *testing.T) {
+	b := NewBacking()
+	a := NewArena(b)
+	r1 := a.Alloc("a", 100)
+	r2 := a.Alloc("b", PageSize*2)
+	if r1.Base%PageSize != 0 {
+		t.Errorf("region base %#x not page aligned", r1.Base)
+	}
+	if r2.Base <= r1.Base {
+		t.Error("regions not disjoint")
+	}
+	// The guard page between the regions must be unmapped.
+	if b.Mapped(r1.Base + PageSize) {
+		t.Error("guard page after region a is mapped")
+	}
+	if !b.Mapped(r2.Base + PageSize) {
+		t.Error("second page of region b is unmapped")
+	}
+}
+
+func TestArenaLookup(t *testing.T) {
+	a := NewArena(NewBacking())
+	a.AllocWords("keys", 10)
+	r, ok := a.Lookup("keys")
+	if !ok || r.Size != 80 {
+		t.Errorf("Lookup(keys) = %+v, %v", r, ok)
+	}
+	if _, ok := a.Lookup("missing"); ok {
+		t.Error("Lookup(missing) succeeded")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 64}
+	if !r.Contains(0x1000) || !r.Contains(0x103f) {
+		t.Error("Contains rejects in-range addresses")
+	}
+	if r.Contains(0x1040) || r.Contains(0xfff) {
+		t.Error("Contains accepts out-of-range addresses")
+	}
+}
+
+// Property: for any sequence of word writes within one region, reads return
+// the last value written.
+func TestBackingLastWriteWins(t *testing.T) {
+	f := func(writes []uint16, values []uint64) bool {
+		b := NewBacking()
+		a := NewArena(b)
+		r := a.AllocWords("arr", 1<<16)
+		model := map[uint64]uint64{}
+		for i, w := range writes {
+			if i >= len(values) {
+				break
+			}
+			addr := r.Base + uint64(w)*8
+			b.Write64(addr, values[i])
+			model[addr] = values[i]
+		}
+		for addr, want := range model {
+			if b.Read64(addr) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineAndPageAddr(t *testing.T) {
+	if LineAddr(0x12345) != 0x12340 {
+		t.Errorf("LineAddr = %#x", LineAddr(0x12345))
+	}
+	if PageAddr(0x12345) != 0x12000 {
+		t.Errorf("PageAddr = %#x", PageAddr(0x12345))
+	}
+}

@@ -1,0 +1,409 @@
+package mem
+
+import (
+	"fmt"
+
+	"eventpf/internal/sim"
+)
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	HitCycles int64 // lookup latency, in the cache's clock domain
+	MSHRs     int
+}
+
+// CacheStats counts the events the paper's Figure 8 is built from.
+type CacheStats struct {
+	DemandLoads   int64 // demand read lookups
+	DemandHits    int64 // demand read lookups that hit
+	DemandStores  int64
+	StoreHits     int64
+	Misses        int64 // demand misses sent down (loads + stores)
+	MSHRMerges    int64 // accesses merged into an in-flight miss
+	LateMerges    int64 // demand accesses that merged into an in-flight prefetch
+	MSHRStalls    int64 // demand misses that had to wait for a free MSHR
+	PrefetchIssue int64 // prefetch requests accepted by this cache
+	PrefetchHits  int64 // prefetches that found the line already present
+	PrefetchFills int64 // prefetch fills that allocated a line
+	PrefetchDrop  int64 // prefetches dropped for want of an MSHR
+	PrefetchUsed  int64 // prefetched lines touched by demand before eviction
+	PrefetchDead  int64 // prefetched lines evicted untouched
+	Writebacks    int64
+}
+
+// ReadHitRate returns the demand-load hit rate (Figure 8b).
+func (s CacheStats) ReadHitRate() float64 {
+	if s.DemandLoads == 0 {
+		return 0
+	}
+	return float64(s.DemandHits) / float64(s.DemandLoads)
+}
+
+// PrefetchUtilisation returns the fraction of prefetched lines that were
+// used by a demand access before leaving the cache (Figure 8a). Call
+// (*Cache).FinalizeStats first so resident lines are counted.
+func (s CacheStats) PrefetchUtilisation() float64 {
+	total := s.PrefetchUsed + s.PrefetchDead
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUsed) / float64(total)
+}
+
+type cacheLine struct {
+	tag        uint64 // line address
+	valid      bool
+	dirty      bool
+	prefetched bool // brought in by a prefetch
+	used       bool // prefetched line later touched by demand
+	lastUse    int64
+}
+
+type mshrEntry struct {
+	line         uint64
+	demand       bool // at least one demand access is waiting
+	dirty        bool // a store is among the merged accesses
+	initPrefetch bool // the miss was initiated by a prefetch
+	waiters      []func(at sim.Ticks)
+	tags         []tagged // prefetch-kernel tags to fire on fill (§4.7)
+}
+
+type tagged struct {
+	tag     int
+	timedAt sim.Ticks
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level with
+// a fixed number of MSHRs. It is non-blocking: demand misses beyond the MSHR
+// count queue; prefetches beyond it are dropped (they are only hints).
+type Cache struct {
+	eng  *sim.Engine
+	clk  sim.Clock
+	cfg  CacheConfig
+	next Level
+
+	sets     int
+	lines    [][]cacheLine
+	useClock int64
+
+	mshr        map[uint64]*mshrEntry
+	pendingMiss []*Request
+
+	// OnDemandAccess, if set, observes every demand load at lookup time:
+	// this is the snoop feeding the programmable prefetcher's address
+	// filter and the baseline prefetchers' training.
+	OnDemandAccess func(addr uint64, pc int, hit bool)
+
+	// OnPrefetchFill, if set, observes tagged prefetched data arriving
+	// (or found already resident), feeding prefetch-completion events.
+	// filled distinguishes a real memory fill from an already-resident hit.
+	OnPrefetchFill func(line uint64, tag int, timedAt sim.Ticks, filled bool)
+
+	// OnMSHRFree, if set, is called whenever an MSHR is released, so the
+	// prefetch-request-queue drainer can try again.
+	OnMSHRFree func()
+
+	// OnPrefetchDrop, if set, is told when a tagged prefetch is discarded
+	// inside the cache (MSHRs filled during the lookup), so the prefetcher
+	// can abandon the pending chain.
+	OnPrefetchDrop func(line uint64, tag int)
+
+	// OnPrefetchDead, if set, observes prefetched lines evicted without
+	// ever being used (diagnostics).
+	OnPrefetchDead func(line uint64)
+
+	Stats CacheStats
+}
+
+// NewCache builds a cache in the given clock domain in front of next.
+func NewCache(eng *sim.Engine, clk sim.Clock, cfg CacheConfig, next Level) *Cache {
+	sets := cfg.SizeBytes / (LineSize * cfg.Ways)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: %s: set count %d must be a positive power of two", cfg.Name, sets))
+	}
+	c := &Cache{
+		eng:   eng,
+		clk:   clk,
+		cfg:   cfg,
+		next:  next,
+		sets:  sets,
+		lines: make([][]cacheLine, sets),
+		mshr:  make(map[uint64]*mshrEntry),
+	}
+	for i := range c.lines {
+		c.lines[i] = make([]cacheLine, cfg.Ways)
+	}
+	return c
+}
+
+// Name returns the configured cache name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+func (c *Cache) setIndex(line uint64) int {
+	return int((line / LineSize) % uint64(c.sets))
+}
+
+func (c *Cache) lookup(line uint64) *cacheLine {
+	set := c.lines[c.setIndex(line)]
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// FreeMSHRs reports how many miss registers are available.
+func (c *Cache) FreeMSHRs() int { return c.cfg.MSHRs - len(c.mshr) }
+
+// Contains reports whether the line holding addr is resident (for tests).
+func (c *Cache) Contains(addr uint64) bool { return c.lookup(LineAddr(addr)) != nil }
+
+// Access begins servicing a request. The lookup completes HitCycles later;
+// Done fires at hit time or, on a miss, at fill time.
+func (c *Cache) Access(req *Request) {
+	if req.Line == 0 {
+		req.Line = LineAddr(req.Addr)
+	}
+	if req.Kind == Writeback {
+		// Posted dirty eviction from the level above: treat as a fill of
+		// ours (write-allocate would be unusual here; just forward if the
+		// line is absent, mark dirty if present).
+		c.Stats.Writebacks++
+		if l := c.lookup(req.Line); l != nil {
+			l.dirty = true
+			return
+		}
+		c.next.Access(&Request{Addr: req.Addr, Line: req.Line, Kind: Writeback, Tag: NoTag, TimedAt: -1})
+		return
+	}
+	c.eng.After(c.clk.Cycles(c.cfg.HitCycles), func() { c.finishLookup(req) })
+}
+
+func (c *Cache) finishLookup(req *Request) {
+	now := c.eng.Now()
+	line := c.lookup(req.Line)
+	hit := line != nil
+
+	switch req.Kind {
+	case Load:
+		c.Stats.DemandLoads++
+		if hit {
+			c.Stats.DemandHits++
+		}
+	case Store:
+		c.Stats.DemandStores++
+		if hit {
+			c.Stats.StoreHits++
+		}
+	case Prefetch:
+		if hit {
+			c.Stats.PrefetchHits++
+		}
+	}
+
+	if req.Kind != Prefetch && c.OnDemandAccess != nil {
+		c.OnDemandAccess(req.Addr, req.PC, hit)
+	}
+
+	if hit {
+		c.touch(line, req)
+		if req.Kind == Prefetch && req.Tag != NoTag && c.OnPrefetchFill != nil {
+			// The data the chain needs is already resident: the
+			// prefetch-completion event still fires so the chain continues.
+			c.OnPrefetchFill(req.Line, req.Tag, req.TimedAt, false)
+		}
+		if req.Done != nil {
+			req.Done(now)
+		}
+		return
+	}
+	c.miss(req)
+}
+
+func (c *Cache) touch(line *cacheLine, req *Request) {
+	c.useClock++
+	line.lastUse = c.useClock
+	if req.Kind == Store {
+		line.dirty = true
+	}
+	if req.Kind != Prefetch && line.prefetched && !line.used {
+		line.used = true
+	}
+}
+
+func (c *Cache) miss(req *Request) {
+	if e, ok := c.mshr[req.Line]; ok {
+		// Merge with the in-flight miss.
+		c.Stats.MSHRMerges++
+		if req.Kind != Prefetch {
+			if e.initPrefetch && !e.demand {
+				c.Stats.LateMerges++
+			}
+			e.demand = true
+			if req.Kind == Store {
+				e.dirty = true
+			}
+		} else if req.Tag != NoTag {
+			e.tags = append(e.tags, tagged{req.Tag, req.TimedAt})
+		}
+		if req.Done != nil {
+			e.waiters = append(e.waiters, req.Done)
+		}
+		return
+	}
+	if len(c.mshr) >= c.cfg.MSHRs {
+		if req.Kind == Prefetch {
+			c.Stats.PrefetchDrop++
+			if req.Tag != NoTag && c.OnPrefetchDrop != nil {
+				c.OnPrefetchDrop(req.Line, req.Tag)
+			}
+			return
+		}
+		c.Stats.MSHRStalls++
+		c.pendingMiss = append(c.pendingMiss, req)
+		return
+	}
+	c.allocateMSHR(req)
+}
+
+func (c *Cache) allocateMSHR(req *Request) {
+	c.Stats.Misses++
+	e := &mshrEntry{
+		line:         req.Line,
+		demand:       req.Kind != Prefetch,
+		dirty:        req.Kind == Store,
+		initPrefetch: req.Kind == Prefetch,
+	}
+	if req.Kind == Prefetch {
+		c.Stats.PrefetchIssue++
+		if req.Tag != NoTag {
+			e.tags = append(e.tags, tagged{req.Tag, req.TimedAt})
+		}
+	}
+	if req.Done != nil {
+		e.waiters = append(e.waiters, req.Done)
+	}
+	c.mshr[req.Line] = e
+
+	down := &Request{
+		Addr: req.Addr,
+		Line: req.Line,
+		Kind: Load,
+		PC:   -1,
+		Tag:  NoTag, TimedAt: -1,
+		Done: func(at sim.Ticks) { c.fill(e) },
+	}
+	if req.Kind == Prefetch {
+		down.Kind = Prefetch
+	}
+	c.next.Access(down)
+}
+
+func (c *Cache) fill(e *mshrEntry) {
+	now := c.eng.Now()
+	c.insert(e)
+	delete(c.mshr, e.line)
+
+	for _, w := range e.waiters {
+		w(now)
+	}
+	if c.OnPrefetchFill != nil {
+		for _, t := range e.tags {
+			c.OnPrefetchFill(e.line, t.tag, t.timedAt, true)
+		}
+	}
+
+	// A register just freed: admit a queued demand miss first, then let the
+	// prefetch drainer know.
+	if len(c.pendingMiss) > 0 && len(c.mshr) < c.cfg.MSHRs {
+		next := c.pendingMiss[0]
+		c.pendingMiss = c.pendingMiss[1:]
+		c.miss(next)
+	}
+	if c.OnMSHRFree != nil && len(c.mshr) < c.cfg.MSHRs {
+		c.OnMSHRFree()
+	}
+}
+
+func (c *Cache) insert(e *mshrEntry) {
+	set := c.lines[c.setIndex(e.line)]
+	victim := &set[0]
+	for i := range set {
+		l := &set[i]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if l.lastUse < victim.lastUse {
+			victim = l
+		}
+	}
+	c.evict(victim)
+
+	c.useClock++
+	*victim = cacheLine{
+		tag:        e.line,
+		valid:      true,
+		dirty:      e.dirty,
+		prefetched: e.initPrefetch,
+		// A demand access merged into a prefetch-initiated miss means the
+		// prefetched data was (late but) used.
+		used:    e.initPrefetch && e.demand,
+		lastUse: c.useClock,
+	}
+	if e.initPrefetch {
+		c.Stats.PrefetchFills++
+	}
+}
+
+func (c *Cache) evict(l *cacheLine) {
+	if !l.valid {
+		return
+	}
+	if l.prefetched {
+		if l.used {
+			c.Stats.PrefetchUsed++
+		} else {
+			c.Stats.PrefetchDead++
+			if c.OnPrefetchDead != nil {
+				c.OnPrefetchDead(l.tag)
+			}
+		}
+	}
+	if l.dirty {
+		c.next.Access(&Request{Addr: l.tag, Line: l.tag, Kind: Writeback, PC: -1, Tag: NoTag, TimedAt: -1})
+		c.Stats.Writebacks++
+	}
+	l.valid = false
+}
+
+// FinalizeStats folds lines still resident at end of run into the
+// prefetch-utilisation counters. Call once, after simulation completes.
+func (c *Cache) FinalizeStats() {
+	for _, set := range c.lines {
+		for i := range set {
+			l := &set[i]
+			if l.valid && l.prefetched {
+				if l.used {
+					c.Stats.PrefetchUsed++
+				} else {
+					c.Stats.PrefetchDead++
+				}
+				l.prefetched = false
+			}
+		}
+	}
+}
+
+// LookupLatency returns the cache's hit-lookup latency in ticks.
+func (c *Cache) LookupLatency() sim.Ticks { return c.clk.Cycles(c.cfg.HitCycles) }
+
+// PendingMisses reports demand misses waiting for a free MSHR (diagnostics).
+func (c *Cache) PendingMisses() int { return len(c.pendingMiss) }
+
+// InFlightMSHRs reports occupied miss registers (diagnostics).
+func (c *Cache) InFlightMSHRs() int { return len(c.mshr) }

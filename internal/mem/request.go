@@ -1,0 +1,61 @@
+package mem
+
+import "eventpf/internal/sim"
+
+// AccessKind distinguishes request types flowing through the hierarchy.
+type AccessKind int
+
+// Request kinds.
+const (
+	Load      AccessKind = iota // demand read from the core
+	Store                       // demand write from the core
+	Prefetch                    // prefetch fetch (programmable, stride or GHB)
+	Writeback                   // dirty eviction travelling down
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Prefetch:
+		return "prefetch"
+	case Writeback:
+		return "writeback"
+	}
+	return "unknown"
+}
+
+// NoTag marks a request that carries no prefetch-kernel tag.
+const NoTag = -1
+
+// Request is one memory transaction. Addr is the exact (virtual) byte
+// address; caches operate on the containing line.
+type Request struct {
+	Addr uint64
+	Line uint64
+	Kind AccessKind
+
+	// PC identifies the static instruction issuing a demand access, used by
+	// the stride prefetcher's reference prediction table. -1 if untracked.
+	PC int
+
+	// Tag names the data structure a programmable prefetch targets; the
+	// prefetcher runs the kernel registered for Tag when the fill arrives
+	// (the paper's "memory request tags", §4.7). NoTag if none.
+	Tag int
+
+	// TimedAt carries the EWMA chain-start time through a prefetch chain
+	// (§4.5); negative when the request is not being timed.
+	TimedAt sim.Ticks
+
+	// Done is invoked when the access completes, with the completion time.
+	// May be nil for posted writes.
+	Done func(at sim.Ticks)
+}
+
+// Level is anything that can service memory requests: a cache or DRAM.
+type Level interface {
+	Access(req *Request)
+}

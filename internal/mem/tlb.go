@@ -1,0 +1,166 @@
+package mem
+
+import "eventpf/internal/sim"
+
+// TLBConfig sizes the two-level TLB of Table 1: a 64-entry fully-associative
+// L1 and a 4096-entry 8-way L2 with an 8-cycle hit latency, backed by a
+// walker with three concurrent walks.
+type TLBConfig struct {
+	L1Entries   int
+	L2Entries   int
+	L2Ways      int
+	L2HitCycles int64 // in the core clock domain
+	Walks       int   // concurrent page-table walks
+	WalkCycles  int64 // latency of one walk, in the core clock domain
+}
+
+// DefaultTLBConfig returns the Table 1 TLB configuration. The walk latency
+// approximates two cache-hierarchy accesses for the (mostly L2-resident)
+// page-table levels.
+func DefaultTLBConfig() TLBConfig {
+	return TLBConfig{
+		L1Entries:   64,
+		L2Entries:   4096,
+		L2Ways:      8,
+		L2HitCycles: 8,
+		Walks:       3,
+		WalkCycles:  60,
+	}
+}
+
+// TLBStats counts translation behaviour.
+type TLBStats struct {
+	Accesses  int64
+	L1Hits    int64
+	L2Hits    int64
+	Walks     int64
+	Faults    int64 // translations of unmapped pages (prefetches drop these)
+	WalkQueue int64 // walks that waited for a free walker slot
+}
+
+// TLB models the two-level TLB plus a hardware page-table walker. Because
+// our simulated address space is identity-mapped, "translation" produces no
+// new address — only latency and page-fault information, which is exactly
+// what the prefetch path needs (§5.3: the prefetcher walks page tables but
+// discards prefetches that would fault).
+type TLB struct {
+	eng *sim.Engine
+	clk sim.Clock
+	cfg TLBConfig
+	bk  *Backing
+
+	l1 []tlbEntry // fully associative
+	l2 [][]tlbEntry
+
+	activeWalks int
+	walkQueue   []func()
+
+	Stats TLBStats
+}
+
+type tlbEntry struct {
+	page    uint64
+	valid   bool
+	lastUse int64
+}
+
+// NewTLB builds a TLB over the backing store's page map.
+func NewTLB(eng *sim.Engine, clk sim.Clock, cfg TLBConfig, bk *Backing) *TLB {
+	t := &TLB{eng: eng, clk: clk, cfg: cfg, bk: bk}
+	t.l1 = make([]tlbEntry, cfg.L1Entries)
+	sets := cfg.L2Entries / cfg.L2Ways
+	t.l2 = make([][]tlbEntry, sets)
+	for i := range t.l2 {
+		t.l2[i] = make([]tlbEntry, cfg.L2Ways)
+	}
+	return t
+}
+
+var tlbUseClock int64
+
+func findAndTouch(set []tlbEntry, page uint64) bool {
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			tlbUseClock++
+			set[i].lastUse = tlbUseClock
+			return true
+		}
+	}
+	return false
+}
+
+func insertLRU(set []tlbEntry, page uint64) {
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lastUse < victim.lastUse {
+			victim = &set[i]
+		}
+	}
+	tlbUseClock++
+	*victim = tlbEntry{page: page, valid: true, lastUse: tlbUseClock}
+}
+
+// Translate resolves the page containing addr, then calls done with whether
+// the page is mapped. The callback may run immediately (L1 TLB hit) or
+// after L2/walk latency.
+func (t *TLB) Translate(addr uint64, done func(ok bool)) {
+	t.Stats.Accesses++
+	page := PageAddr(addr)
+
+	if findAndTouch(t.l1, page) {
+		t.Stats.L1Hits++
+		done(true)
+		return
+	}
+
+	set := t.l2[(page/PageSize)%uint64(len(t.l2))]
+	if findAndTouch(set, page) {
+		t.Stats.L2Hits++
+		t.eng.After(t.clk.Cycles(t.cfg.L2HitCycles), func() {
+			insertLRU(t.l1, page)
+			done(true)
+		})
+		return
+	}
+
+	start := func() {
+		t.activeWalks++
+		t.Stats.Walks++
+		t.eng.After(t.clk.Cycles(t.cfg.WalkCycles), func() {
+			t.activeWalks--
+			ok := t.bk.Mapped(page)
+			if ok {
+				insertLRU(t.l1, page)
+				insertLRU(set, page)
+			} else {
+				t.Stats.Faults++
+			}
+			// Hand the freed walker slot to the queue head BEFORE running
+			// the completion: done() may synchronously request another
+			// translation (the prefetch pump does), and letting it take
+			// the slot first starves queued demand walks indefinitely.
+			if len(t.walkQueue) > 0 && t.activeWalks < t.cfg.Walks {
+				next := t.walkQueue[0]
+				t.walkQueue = t.walkQueue[1:]
+				next()
+			}
+			done(ok)
+		})
+	}
+	if t.activeWalks >= t.cfg.Walks {
+		t.Stats.WalkQueue++
+		t.walkQueue = append(t.walkQueue, start)
+		return
+	}
+	start()
+}
+
+// QueuedWalks reports translations waiting for a walker slot (diagnostics).
+func (t *TLB) QueuedWalks() int { return len(t.walkQueue) }
+
+// ActiveWalks reports walks in progress (diagnostics).
+func (t *TLB) ActiveWalks() int { return t.activeWalks }

@@ -1,0 +1,96 @@
+package ppu
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding of PPU instructions, used to measure real kernel sizes
+// (the paper's §4.4 observes at most 1 KB of kernel code per application
+// and sizes the shared instruction cache at 4 KiB accordingly).
+//
+// Most instructions encode in one 32-bit word:
+//
+//	[31:24] opcode  [23:20] rd  [19:16] ra  [15:12] rb  [11:0] imm12
+//
+// An imm12 of extFlag32/extFlag64 marks an extended immediate carried in
+// the following one or two words, the way a microcontroller ISA splices
+// large constants. Inline immediates that would collide with the marker
+// values are promoted to the extended form.
+const (
+	extFlag32 = 0x7FE // one extension word follows (32-bit immediate)
+	extFlag64 = 0x7FF // two extension words follow (64-bit immediate)
+
+	immInlineMax = 0x7FD      // largest inline immediate
+	immInlineMin = -(1 << 11) // most negative inline immediate (0x800..0xFFF)
+)
+
+// Encode serialises a kernel to its binary form.
+func Encode(prog []Instr) []byte {
+	out := make([]byte, 0, 4*len(prog))
+	w := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		out = append(out, b[:]...)
+	}
+	for _, in := range prog {
+		head := uint32(in.Op)<<24 | uint32(in.Rd&0xF)<<20 | uint32(in.Ra&0xF)<<16 | uint32(in.Rb&0xF)<<12
+		switch {
+		case in.Imm >= immInlineMin && in.Imm <= immInlineMax:
+			w(head | uint32(in.Imm)&0xFFF)
+		case in.Imm == int64(int32(in.Imm)):
+			w(head | extFlag32)
+			w(uint32(in.Imm))
+		default:
+			w(head | extFlag64)
+			w(uint32(in.Imm))
+			w(uint32(uint64(in.Imm) >> 32))
+		}
+	}
+	return out
+}
+
+// Decode parses a binary kernel back into instructions.
+func Decode(b []byte) ([]Instr, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("ppu: binary length %d not word-aligned", len(b))
+	}
+	words := make([]uint32, len(b)/4)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	var prog []Instr
+	for i := 0; i < len(words); i++ {
+		word := words[i]
+		in := Instr{
+			Op: Opcode(word >> 24),
+			Rd: uint8(word >> 20 & 0xF),
+			Ra: uint8(word >> 16 & 0xF),
+			Rb: uint8(word >> 12 & 0xF),
+		}
+		if in.Op > JMP {
+			return nil, fmt.Errorf("ppu: invalid opcode %d at word %d", in.Op, i)
+		}
+		switch imm12 := word & 0xFFF; imm12 {
+		case extFlag32:
+			if i+1 >= len(words) {
+				return nil, fmt.Errorf("ppu: truncated 32-bit immediate at word %d", i)
+			}
+			i++
+			in.Imm = int64(int32(words[i]))
+		case extFlag64:
+			if i+2 >= len(words) {
+				return nil, fmt.Errorf("ppu: truncated 64-bit immediate at word %d", i)
+			}
+			in.Imm = int64(uint64(words[i+2])<<32 | uint64(words[i+1]))
+			i += 2
+		default:
+			in.Imm = int64(int32(imm12<<20) >> 20) // sign-extend 12 bits
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}
+
+// EncodedSize returns the binary size of a kernel in bytes.
+func EncodedSize(prog []Instr) int { return len(Encode(prog)) }

@@ -1,0 +1,126 @@
+// Package ppu implements the programmable prefetch units: a 64-bit RISC
+// instruction set sized like the paper's Cortex-M0+-class cores, a small
+// assembler for writing kernels by hand (and for the compiler to target),
+// and a resumable virtual machine. PPUs have no access to memory: a kernel
+// sees only the triggering virtual address, the captured cache line, 16
+// local registers, the prefetcher's global registers and the EWMA
+// look-ahead values — and its only side effect is emitting prefetches.
+package ppu
+
+import "fmt"
+
+// Opcode is a PPU instruction opcode.
+type Opcode int
+
+// The PPU instruction set.
+const (
+	HALT Opcode = iota // end of kernel
+
+	MOVI // rd = imm
+	MOV  // rd = ra
+
+	ADD // rd = ra + rb
+	SUB // rd = ra - rb
+	MUL // rd = ra * rb
+	DIV // rd = ra / rb (rb==0 terminates the event, §5.1)
+	AND // rd = ra & rb
+	OR  // rd = ra | rb
+	XOR // rd = ra ^ rb
+	SHL // rd = ra << rb
+	SHR // rd = ra >> rb (logical)
+
+	ADDI // rd = ra + imm
+	ANDI // rd = ra & imm
+	MULI // rd = ra * imm
+	SHLI // rd = ra << imm
+	SHRI // rd = ra >> imm
+
+	LDLINE  // rd = captured-line word at byte offset (ra & 63)
+	LDLINEI // rd = captured-line word at byte offset (imm & 63)
+	LDDATA  // rd = captured-line word at the trigger address's offset
+	VADDR   // rd = triggering virtual address
+	LDG     // rd = global register imm
+	STG     // global register imm = ra
+	LDEWMA  // rd = current look-ahead distance of EWMA group imm
+
+	PF    // emit prefetch of address ra (end of chain: no further event)
+	PFTAG // emit prefetch of address ra tagged imm: fill triggers that kernel
+
+	BEQ // if ra == rb jump to absolute instruction index imm
+	BNE // if ra != rb
+	BLT // if ra <  rb (unsigned)
+	BGE // if ra >= rb (unsigned)
+	JMP // jump to absolute instruction index imm
+)
+
+var opNames = map[Opcode]string{
+	HALT: "halt", MOVI: "movi", MOV: "mov",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", AND: "and",
+	OR: "or", XOR: "xor", SHL: "shl", SHR: "shr",
+	ADDI: "addi", ANDI: "andi", MULI: "muli", SHLI: "shli", SHRI: "shri",
+	LDLINE: "ldline", LDLINEI: "ldlinei", LDDATA: "lddata", VADDR: "vaddr",
+	LDG: "ldg", STG: "stg", LDEWMA: "ldewma",
+	PF: "pf", PFTAG: "pftag",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", JMP: "jmp",
+}
+
+func (o Opcode) String() string { return opNames[o] }
+
+// NumRegs is the number of PPU local registers.
+const NumRegs = 16
+
+// NumGlobals is the number of prefetcher global registers shared by all
+// PPUs, written by configuration instructions on the main core.
+const NumGlobals = 64
+
+// Instr is one PPU instruction.
+type Instr struct {
+	Op         Opcode
+	Rd, Ra, Rb uint8
+	Imm        int64
+}
+
+func (in Instr) String() string {
+	r := func(x uint8) string { return fmt.Sprintf("r%d", x) }
+	switch in.Op {
+	case HALT:
+		return "halt"
+	case MOVI:
+		return fmt.Sprintf("movi %s, %d", r(in.Rd), in.Imm)
+	case MOV, LDLINE, LDDATA, VADDR:
+		if in.Op == LDDATA || in.Op == VADDR {
+			return fmt.Sprintf("%s %s", in.Op, r(in.Rd))
+		}
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Rd), r(in.Ra))
+	case ADD, SUB, MUL, DIV, AND, OR, XOR, SHL, SHR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Ra), r(in.Rb))
+	case ADDI, ANDI, MULI, SHLI, SHRI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Ra), in.Imm)
+	case LDLINEI:
+		return fmt.Sprintf("ldlinei %s, %d", r(in.Rd), in.Imm)
+	case LDG:
+		return fmt.Sprintf("ldg %s, g%d", r(in.Rd), in.Imm)
+	case STG:
+		return fmt.Sprintf("stg g%d, %s", in.Imm, r(in.Ra))
+	case LDEWMA:
+		return fmt.Sprintf("ldewma %s, e%d", r(in.Rd), in.Imm)
+	case PF:
+		return fmt.Sprintf("pf %s", r(in.Ra))
+	case PFTAG:
+		return fmt.Sprintf("pftag %s, %d", r(in.Ra), in.Imm)
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%s %s, %s, @%d", in.Op, r(in.Ra), r(in.Rb), in.Imm)
+	case JMP:
+		return fmt.Sprintf("jmp @%d", in.Imm)
+	}
+	return "?"
+}
+
+// Disassemble renders a kernel with instruction indices.
+func Disassemble(prog []Instr) string {
+	s := ""
+	for i, in := range prog {
+		s += fmt.Sprintf("%3d: %s\n", i, in)
+	}
+	return s
+}

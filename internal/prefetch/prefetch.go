@@ -1,0 +1,653 @@
+// Package prefetch implements the paper's contribution: the event-triggered
+// programmable prefetcher attached to the L1 data cache (§4). Demand loads
+// snooped from the core and prefetched data arriving at L1 pass through an
+// address filter; matching events queue in a small observation queue; a
+// scheduler hands them to the lowest-numbered free programmable prefetch
+// unit (PPU); kernels running on the PPUs generate new — possibly tagged —
+// prefetch requests, which drain through a FIFO request queue into free L1
+// MSHRs after TLB translation. EWMA calculators provide dynamic look-ahead
+// distances (§4.5); memory-request tags re-trigger kernels when fills for
+// linked structures arrive (§4.7).
+package prefetch
+
+import (
+	"eventpf/internal/mem"
+	"eventpf/internal/ppu"
+	"eventpf/internal/sim"
+)
+
+// NoKernel marks an unset kernel slot in the filter table.
+const NoKernel = -1
+
+// Config sizes the prefetcher (Table 1 defaults: 12 PPUs at 1 GHz, 40-entry
+// observation queue, 200-entry prefetch request queue).
+type Config struct {
+	NumPPUs  int
+	PPUClock sim.Clock
+	ObsQueue int
+	ReqQueue int
+	// Blocked switches to the Figure 11 comparison mode: a tagged (chained)
+	// prefetch stalls its PPU until the data returns, and the chained
+	// kernel runs on the same unit.
+	Blocked bool
+}
+
+// DefaultConfig returns the Table 1 prefetcher configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumPPUs:  12,
+		PPUClock: sim.ClockFromMHz(1000),
+		ObsQueue: 40,
+		ReqQueue: 200,
+	}
+}
+
+// RangeConfig is one address-filter entry (§4.2): a virtual address range
+// with the kernels to run on load and prefetch-fill observations, plus EWMA
+// roles.
+type RangeConfig struct {
+	Lo, Hi     uint64
+	LoadKernel int  // kernel run when the core loads in [Lo,Hi); NoKernel = none
+	PFKernel   int  // kernel run when a prefetch fill lands in [Lo,Hi)
+	EWMAGroup  int  // EWMA group for the flags below; -1 = none
+	Interval   bool // demand loads here feed the group's inter-access EWMA
+	TimedStart bool // load events here start a timed prefetch chain
+	TimedEnd   bool // fills here close a timed chain into the load-time EWMA
+}
+
+// Stats counts prefetcher activity.
+type Stats struct {
+	LoadObservations int64 // filtered demand-load events
+	FillObservations int64 // filtered prefetch-fill events
+	ObsDropped       int64 // observation-queue overflow (oldest dropped)
+	KernelRuns       int64
+	KernelFaults     int64
+	ICacheMisses     int64     // cold kernel starts (fetch from memory, §4.4)
+	PFGenerated      int64     // prefetch addresses produced by kernels
+	ReqDropped       int64     // request-queue overflow
+	FillLatencySum   sim.Ticks // total generation→fill delay of prefetches
+	FillCount        int64
+	QueueDepthSum    int64     // request-queue depth observed at each enqueue
+	PumpBusy         int64     // pump entered while a translation was in flight
+	PumpGated        int64     // pump blocked by the MSHR-headroom gate
+	IssueLatencySum  sim.Ticks // generation→L1-issue delay
+	IssueCount       int64
+	TLBDrops         int64 // prefetches dropped on page-table miss (§5.3)
+	MSHRDrops        int64 // prefetches dropped at L1 for want of an MSHR
+	Issued           int64 // prefetches issued into the L1
+	Flushes          int64 // context-switch flushes
+}
+
+type observation struct {
+	addr    uint64
+	kernel  int
+	timedAt sim.Ticks // chain start time, -1 if untimed
+	ewma    int       // group whose chain this closes timing for, -1
+}
+
+type pendingPF struct {
+	addr       uint64
+	chain      int // kernel to run on fill (explicit tag), NoKernel if none
+	timedAt    sim.Ticks
+	ewma       int // EWMA group the timed chain reports to, -1 if none
+	blockedPPU int // blocked mode: PPU suspended on this request, else -1
+	createdAt  sim.Ticks
+}
+
+type request struct {
+	addr  uint64
+	obsID int
+}
+
+type unit struct {
+	busy      bool
+	busyStart sim.Ticks
+	busyTicks sim.Ticks
+	stack     []*ppu.VM // blocked mode: suspended kernels, innermost last
+}
+
+// Prefetcher wires the event machinery to an L1 cache and TLB.
+type Prefetcher struct {
+	eng *sim.Engine
+	cfg Config
+	bk  *mem.Backing
+	l1  *mem.Cache
+	tlb *mem.TLB
+
+	Enabled bool
+
+	// Tracer, if set, receives lifecycle events (see trace.go).
+	Tracer Tracer
+
+	kernels map[int][]ppu.Instr
+	warmed  map[int]bool // kernels already in the shared instruction cache
+	filter  []RangeConfig
+	globals [ppu.NumGlobals]uint64
+
+	obsQueue []observation
+	reqQueue []request
+	units    []unit
+
+	pending map[int]*pendingPF
+	nextObs int
+
+	ewma [8]ewmaGroup
+
+	pumping  int // concurrent request translations (the L2 TLB is pipelined)
+	inFlight int // prefetch lookups issued to L1 whose MSHR is not yet held
+
+	Stats Stats
+}
+
+// New builds a prefetcher and hooks it into the L1 cache's snoop, fill,
+// drop and MSHR-free callbacks.
+func New(eng *sim.Engine, cfg Config, bk *mem.Backing, l1 *mem.Cache, tlb *mem.TLB) *Prefetcher {
+	p := &Prefetcher{
+		eng:     eng,
+		cfg:     cfg,
+		bk:      bk,
+		l1:      l1,
+		tlb:     tlb,
+		Enabled: true,
+		kernels: make(map[int][]ppu.Instr),
+		warmed:  make(map[int]bool),
+		units:   make([]unit, cfg.NumPPUs),
+		pending: make(map[int]*pendingPF),
+	}
+	for i := range p.ewma {
+		p.ewma[i].init()
+	}
+	l1.OnDemandAccess = p.onDemandLoad
+	l1.OnPrefetchFill = p.onPrefetchFill
+	l1.OnMSHRFree = p.pump
+	l1.OnPrefetchDrop = func(_ uint64, tag int) {
+		p.Stats.MSHRDrops++
+		p.dropPending(tag)
+	}
+	return p
+}
+
+// RegisterKernel installs a PPU kernel under an id; configuration
+// instructions and tags refer to kernels by these ids.
+func (p *Prefetcher) RegisterKernel(id int, prog []ppu.Instr) {
+	p.kernels[id] = prog
+}
+
+// KernelBytes reports the total encoded size of registered kernels, the
+// quantity behind the paper's "at most 1 KB fetched" observation (§4.4).
+func (p *Prefetcher) KernelBytes() int {
+	n := 0
+	for _, k := range p.kernels {
+		n += ppu.EncodedSize(k)
+	}
+	return n
+}
+
+// SetRange installs or replaces filter-table slot idx.
+func (p *Prefetcher) SetRange(slot int, rc RangeConfig) {
+	for slot >= len(p.filter) {
+		p.filter = append(p.filter, RangeConfig{LoadKernel: NoKernel, PFKernel: NoKernel, EWMAGroup: -1})
+	}
+	p.filter[slot] = rc
+}
+
+// SetGlobal writes prefetcher global register idx.
+func (p *Prefetcher) SetGlobal(idx int, val uint64) { p.globals[idx] = val }
+
+// Global reads a prefetcher global register (tests and examples).
+func (p *Prefetcher) Global(idx int) uint64 { return p.globals[idx] }
+
+// Flush models a context switch (§5.3): all queued observations and
+// requests are discarded, running events abort and EWMA state resets; only
+// the filter table and global registers survive.
+func (p *Prefetcher) Flush() {
+	p.Stats.Flushes++
+	p.trace(TraceFlush, 0, -1, -1)
+	p.obsQueue = p.obsQueue[:0]
+	p.reqQueue = p.reqQueue[:0]
+	now := p.eng.Now()
+	for i := range p.units {
+		u := &p.units[i]
+		if u.busy {
+			u.busyTicks += now - u.busyStart
+			u.busy = false
+		}
+		u.stack = nil
+	}
+	for id := range p.pending {
+		delete(p.pending, id)
+	}
+	for i := range p.ewma {
+		p.ewma[i].init()
+	}
+}
+
+// onDemandLoad is the L1 snoop: every demand access from the core.
+func (p *Prefetcher) onDemandLoad(addr uint64, pc int, hit bool) {
+	if !p.Enabled {
+		return
+	}
+	now := p.eng.Now()
+	for i := range p.filter {
+		rc := &p.filter[i]
+		if addr < rc.Lo || addr >= rc.Hi {
+			continue
+		}
+		if rc.Interval && rc.EWMAGroup >= 0 {
+			p.ewma[rc.EWMAGroup].observeInterval(now)
+		}
+		if rc.LoadKernel == NoKernel {
+			continue
+		}
+		p.Stats.LoadObservations++
+		timed := sim.Ticks(-1)
+		group := -1
+		if rc.TimedStart && rc.EWMAGroup >= 0 {
+			timed = now
+			group = rc.EWMAGroup
+		}
+		p.enqueueObs(observation{addr: addr, kernel: rc.LoadKernel, timedAt: timed, ewma: group})
+	}
+}
+
+// onPrefetchFill handles prefetched data reaching the L1 (or found already
+// resident). tag is the obsID of the pending request; filled distinguishes
+// a real memory fill from a resident hit.
+func (p *Prefetcher) onPrefetchFill(line uint64, tag int, _ sim.Ticks, filled bool) {
+	pend, ok := p.pending[tag]
+	if !ok {
+		return
+	}
+	delete(p.pending, tag)
+	now := p.eng.Now()
+	p.Stats.FillObservations++
+	p.trace(TraceFill, pend.addr, pend.chain, -1)
+	p.Stats.FillLatencySum += now - pend.createdAt
+	p.Stats.FillCount++
+
+	kernel := pend.chain
+	ewmaEnd := -1
+	for i := range p.filter {
+		rc := &p.filter[i]
+		if pend.addr < rc.Lo || pend.addr >= rc.Hi {
+			continue
+		}
+		if kernel == NoKernel && rc.PFKernel != NoKernel {
+			kernel = rc.PFKernel
+		}
+		if rc.TimedEnd && rc.EWMAGroup >= 0 && pend.timedAt >= 0 {
+			ewmaEnd = rc.EWMAGroup
+		}
+	}
+	// A chain that ends (no further kernel) also closes its timing, so the
+	// EWMA sees the full latency of the dependent-prefetch sequence even
+	// when the final structure has no filter range of its own. Chains whose
+	// final target was already resident carry no information about memory
+	// latency and would drag the look-ahead into a too-shallow equilibrium,
+	// so only real fills train the EWMA.
+	if ewmaEnd < 0 && pend.timedAt >= 0 && kernel == NoKernel && pend.ewma >= 0 {
+		ewmaEnd = pend.ewma
+	}
+	if ewmaEnd >= 0 && pend.timedAt >= 0 && filled {
+		p.ewma[ewmaEnd].observeLoadTime(now - pend.timedAt)
+	}
+
+	if !p.Enabled {
+		return
+	}
+
+	if pend.blockedPPU >= 0 {
+		// Blocked mode: the issuing PPU has been stalled on this fill; run
+		// the chained kernel (if any) on that same unit, then resume it.
+		p.resumeBlocked(pend.blockedPPU, kernel, pend.addr, pend.timedAt, pend.ewma)
+		return
+	}
+	if kernel == NoKernel {
+		return
+	}
+	p.enqueueObs(observation{addr: pend.addr, kernel: kernel, timedAt: pend.timedAt, ewma: pend.ewma})
+}
+
+func (p *Prefetcher) enqueueObs(o observation) {
+	p.trace(TraceObserve, o.addr, o.kernel, -1)
+	if len(p.obsQueue) >= p.cfg.ObsQueue {
+		// Prefetches are only hints: drop the oldest observation (§4.3).
+		p.Stats.ObsDropped++
+		p.trace(TraceObsDrop, p.obsQueue[0].addr, p.obsQueue[0].kernel, -1)
+		copy(p.obsQueue, p.obsQueue[1:])
+		p.obsQueue = p.obsQueue[:len(p.obsQueue)-1]
+	}
+	p.obsQueue = append(p.obsQueue, o)
+	p.schedule()
+}
+
+// schedule assigns queued observations to free PPUs, lowest id first (§7.2).
+func (p *Prefetcher) schedule() {
+	for len(p.obsQueue) > 0 {
+		id := -1
+		for i := range p.units {
+			if !p.units[i].busy {
+				id = i
+				break
+			}
+		}
+		if id < 0 {
+			return
+		}
+		o := p.obsQueue[0]
+		copy(p.obsQueue, p.obsQueue[1:])
+		p.obsQueue = p.obsQueue[:len(p.obsQueue)-1]
+		p.startKernel(id, o.kernel, o.addr, o.timedAt, o.ewma)
+	}
+}
+
+// startKernel begins executing kernel on unit id at the next PPU clock edge.
+func (p *Prefetcher) startKernel(id int, kernel int, addr uint64, timedAt sim.Ticks, ewma int) {
+	prog, ok := p.kernels[kernel]
+	if !ok {
+		return
+	}
+	u := &p.units[id]
+	u.busy = true
+	now := p.eng.Now()
+	start := p.cfg.PPUClock.NextEdge(now)
+	u.busyStart = now
+
+	// First execution of a kernel fetches it into the shared instruction
+	// cache from memory (§4.4: ~1 KB total per application); model the
+	// cold start as a fixed fetch delay.
+	if !p.warmed[kernel] {
+		p.warmed[kernel] = true
+		p.Stats.ICacheMisses++
+		start += p.cfg.PPUClock.Cycles(int64(ppu.EncodedSize(prog)/4) + 50)
+	}
+
+	env := &ppu.Env{
+		VAddr:     addr,
+		Line:      p.captureLine(addr),
+		Globals:   &p.globals,
+		Lookahead: p.lookahead,
+	}
+	vm := ppu.NewVM(prog, env)
+	env.EmitPF = p.emitFunc(id, start, timedAt, ewma)
+
+	p.Stats.KernelRuns++
+	p.trace(TraceKernel, addr, kernel, id)
+	status := vm.Run()
+	if vm.Faulted() {
+		p.Stats.KernelFaults++
+	}
+	if status == ppu.Blocked {
+		// Unit stays busy; resumed by resumeBlocked on fill (or drop).
+		u.stack = append(u.stack, vm)
+		return
+	}
+	p.finishUnit(id, start+p.cfg.PPUClock.Cycles(vm.Cycles()))
+}
+
+// emitFunc builds the EmitPF callback for a kernel invocation started at
+// tick start on unit id.
+func (p *Prefetcher) emitFunc(id int, start sim.Ticks, timedAt sim.Ticks, ewma int) func(uint64, int, int64) bool {
+	return func(addr uint64, tag int, cycle int64) bool {
+		p.Stats.PFGenerated++
+		p.trace(TraceGenerate, addr, tag, id)
+		at := start + p.cfg.PPUClock.Cycles(cycle)
+		if at < p.eng.Now() {
+			at = p.eng.Now()
+		}
+		chain := NoKernel
+		if tag != ppu.NoTag {
+			chain = tag
+		}
+		obsID := p.nextObs
+		p.nextObs++
+		pend := &pendingPF{addr: addr, chain: chain, timedAt: timedAt, ewma: ewma, blockedPPU: -1, createdAt: p.eng.Now()}
+		block := p.cfg.Blocked && chain != NoKernel
+		if block {
+			pend.blockedPPU = id
+		}
+		p.pending[obsID] = pend
+		p.eng.At(at, func() { p.enqueueReq(request{addr: addr, obsID: obsID}) })
+		return block
+	}
+}
+
+func (p *Prefetcher) enqueueReq(r request) {
+	if len(p.reqQueue) >= p.cfg.ReqQueue {
+		p.Stats.ReqDropped++
+		p.dropPending(r.obsID)
+		return
+	}
+	p.Stats.QueueDepthSum += int64(len(p.reqQueue))
+	p.reqQueue = append(p.reqQueue, r)
+	p.pump()
+}
+
+// mshrHeadroom keeps a couple of L1 MSHRs free for demand misses so the
+// prefetcher cannot starve the core's own traffic.
+const mshrHeadroom = 2
+
+// pumpWays is how many request translations may overlap: the shared TLB is
+// pipelined, so the drain rate is bounded by MSHR availability rather than
+// one translation latency per request.
+const pumpWays = 4
+
+// pump drains the request queue into free L1 MSHRs, translating via the
+// shared TLB (§4.6). One translation is in flight at a time; lookups
+// already racing through the cache pipeline count against the free MSHRs.
+func (p *Prefetcher) pump() {
+	if len(p.reqQueue) == 0 {
+		return
+	}
+	if p.pumping >= pumpWays {
+		p.Stats.PumpBusy++
+		return
+	}
+	if p.l1.FreeMSHRs()-p.inFlight-p.pumping <= mshrHeadroom {
+		p.Stats.PumpGated++
+		return
+	}
+	p.pumping++
+	r := p.reqQueue[0]
+	copy(p.reqQueue, p.reqQueue[1:])
+	p.reqQueue = p.reqQueue[:len(p.reqQueue)-1]
+
+	p.tlb.Translate(r.addr, func(ok bool) {
+		p.pumping--
+		if !ok {
+			// Page-table miss: discard rather than fault (§5.3).
+			p.Stats.TLBDrops++
+			p.trace(TraceDrop, r.addr, -1, -1)
+			p.dropPending(r.obsID)
+		} else if p.l1.FreeMSHRs()-p.inFlight <= 0 {
+			p.Stats.MSHRDrops++
+			p.dropPending(r.obsID)
+		} else {
+			p.Stats.Issued++
+			p.trace(TraceIssue, r.addr, -1, -1)
+			pend := p.pending[r.obsID]
+			var timed sim.Ticks = -1
+			if pend != nil {
+				timed = pend.timedAt
+				p.Stats.IssueLatencySum += p.eng.Now() - pend.createdAt
+				p.Stats.IssueCount++
+			}
+			p.inFlight++
+			obsID := r.obsID
+			p.l1.Access(&mem.Request{
+				Addr: r.addr, Kind: mem.Prefetch, PC: -1,
+				Tag: obsID, TimedAt: timed,
+				Done: func(sim.Ticks) {},
+			})
+			// The lookup holds its claim for the cache's hit latency;
+			// afterwards the MSHR (or a hit) has resolved it.
+			p.eng.After(p.l1Lookup(), func() {
+				p.inFlight--
+				p.pump()
+			})
+		}
+		p.pump()
+	})
+}
+
+// dropPending abandons a pending tagged request; in blocked mode the
+// suspended PPU must be resumed or it would wait forever.
+func (p *Prefetcher) dropPending(obsID int) {
+	pend, ok := p.pending[obsID]
+	if !ok {
+		return
+	}
+	delete(p.pending, obsID)
+	if pend.blockedPPU >= 0 {
+		p.resumeBlocked(pend.blockedPPU, NoKernel, 0, -1, -1)
+	}
+}
+
+// resumeBlocked continues a suspended unit: first running the chained
+// kernel (if any) for the arrived fill, then resuming the suspended VMs
+// from innermost outwards until one blocks again or all finish.
+func (p *Prefetcher) resumeBlocked(id int, kernel int, addr uint64, timedAt sim.Ticks, ewma int) {
+	u := &p.units[id]
+	now := p.eng.Now()
+	start := p.cfg.PPUClock.NextEdge(now)
+
+	if kernel != NoKernel {
+		if prog, ok := p.kernels[kernel]; ok {
+			env := &ppu.Env{
+				VAddr:     addr,
+				Line:      p.captureLine(addr),
+				Globals:   &p.globals,
+				Lookahead: p.lookahead,
+			}
+			vm := ppu.NewVM(prog, env)
+			env.EmitPF = p.emitFunc(id, start, timedAt, ewma)
+			p.Stats.KernelRuns++
+			if vm.Run() == ppu.Blocked {
+				u.stack = append(u.stack, vm)
+				return
+			}
+			if vm.Faulted() {
+				p.Stats.KernelFaults++
+			}
+			start += p.cfg.PPUClock.Cycles(vm.Cycles())
+		}
+	}
+	for len(u.stack) > 0 {
+		vm := u.stack[len(u.stack)-1]
+		u.stack = u.stack[:len(u.stack)-1]
+		if vm.Run() == ppu.Blocked {
+			u.stack = append(u.stack, vm)
+			return
+		}
+	}
+	p.finishUnit(id, start)
+}
+
+// finishUnit frees unit id at time at and lets the scheduler refill it.
+func (p *Prefetcher) finishUnit(id int, at sim.Ticks) {
+	if at < p.eng.Now() {
+		at = p.eng.Now()
+	}
+	p.eng.At(at, func() {
+		u := &p.units[id]
+		u.busy = false
+		u.busyTicks += at - u.busyStart
+		p.schedule()
+	})
+}
+
+func (p *Prefetcher) l1Lookup() sim.Ticks { return p.l1.LookupLatency() }
+
+func (p *Prefetcher) captureLine(addr uint64) [mem.LineSize / 8]uint64 {
+	if p.bk.Mapped(addr) {
+		return p.bk.ReadLine(addr)
+	}
+	return [mem.LineSize / 8]uint64{}
+}
+
+func (p *Prefetcher) lookahead(group int) uint64 {
+	if group < 0 || group >= len(p.ewma) {
+		return 1
+	}
+	return p.ewma[group].lookahead()
+}
+
+// Lookahead exposes the EWMA-derived distance (tests, examples).
+func (p *Prefetcher) Lookahead(group int) uint64 { return p.lookahead(group) }
+
+// ActivityFactors returns each PPU's awake fraction over the elapsed
+// runtime: the Figure 10 quantity. Call after the simulation completes.
+func (p *Prefetcher) ActivityFactors() []float64 {
+	total := p.eng.Now()
+	out := make([]float64, len(p.units))
+	if total == 0 {
+		return out
+	}
+	for i := range p.units {
+		busy := p.units[i].busyTicks
+		if p.units[i].busy {
+			busy += total - p.units[i].busyStart
+		}
+		out[i] = float64(busy) / float64(total)
+	}
+	return out
+}
+
+// ewmaGroup implements the §4.5 moving-average calculators with weight 1/8.
+// The exposed look-ahead distance is quantised to powers of two with
+// hysteresis: a raw ratio that wobbles between adjacent values would leave
+// a gap of unprefetched iterations at every upward step, and those gaps
+// become fully serialised misses.
+type ewmaGroup struct {
+	lastAccess sim.Ticks
+	interval   float64
+	loadTime   float64
+	quantised  uint64
+}
+
+func (g *ewmaGroup) init() {
+	g.lastAccess = -1
+	g.interval = 0
+	g.loadTime = 0
+	g.quantised = 0
+}
+
+func (g *ewmaGroup) observeInterval(now sim.Ticks) {
+	if g.lastAccess >= 0 {
+		dt := float64(now - g.lastAccess)
+		if g.interval == 0 {
+			g.interval = dt
+		} else {
+			g.interval += (dt - g.interval) / 16
+		}
+	}
+	g.lastAccess = now
+}
+
+func (g *ewmaGroup) observeLoadTime(d sim.Ticks) {
+	dt := float64(d)
+	if g.loadTime == 0 {
+		g.loadTime = dt
+	} else {
+		g.loadTime += (dt - g.loadTime) / 16
+	}
+}
+
+// lookahead returns loadTime/interval rounded up to a power of two in
+// [4, 64], with hysteresis so the distance changes only when the ratio has
+// clearly left its current bucket. With no samples yet it returns 4.
+func (g *ewmaGroup) lookahead() uint64 {
+	if g.interval <= 0 || g.loadTime <= 0 {
+		return 4
+	}
+	raw := g.loadTime / g.interval
+	cur := float64(g.quantised)
+	if g.quantised == 0 || raw > cur*1.5 || raw < cur*0.375 {
+		q := uint64(4)
+		for float64(q) < raw && q < 64 {
+			q <<= 1
+		}
+		g.quantised = q
+	}
+	return g.quantised
+}

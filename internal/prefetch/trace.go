@@ -1,0 +1,98 @@
+package prefetch
+
+import (
+	"fmt"
+	"io"
+
+	"eventpf/internal/sim"
+)
+
+// TraceKind classifies prefetcher trace events.
+type TraceKind int
+
+// Trace event kinds, in rough lifecycle order.
+const (
+	TraceObserve  TraceKind = iota // load/fill observation accepted
+	TraceObsDrop                   // observation queue overflow
+	TraceKernel                    // kernel started on a PPU
+	TraceGenerate                  // kernel emitted a prefetch address
+	TraceIssue                     // request issued into the L1
+	TraceFill                      // prefetched data arrived (or was resident)
+	TraceDrop                      // request dropped (queue/TLB/MSHR)
+	TraceFlush                     // context-switch flush
+)
+
+var traceKindNames = map[TraceKind]string{
+	TraceObserve: "observe", TraceObsDrop: "obs-drop", TraceKernel: "kernel",
+	TraceGenerate: "generate", TraceIssue: "issue", TraceFill: "fill",
+	TraceDrop: "drop", TraceFlush: "flush",
+}
+
+func (k TraceKind) String() string { return traceKindNames[k] }
+
+// TraceEvent is one prefetcher lifecycle event.
+type TraceEvent struct {
+	At     sim.Ticks
+	Kind   TraceKind
+	Addr   uint64
+	Kernel int // kernel id, -1 when not applicable
+	PPU    int // unit id, -1 when not applicable
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%12d %-9s addr=%#x kernel=%d ppu=%d",
+		e.At, e.Kind, e.Addr, e.Kernel, e.PPU)
+}
+
+// Tracer receives prefetcher events; implementations must be cheap, as they
+// run inline with the simulation.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// RingTracer keeps the most recent N events — the usual way to look at "what
+// was the prefetcher doing just before things went wrong".
+type RingTracer struct {
+	buf  []TraceEvent
+	next int
+	full bool
+}
+
+// NewRingTracer creates a tracer holding the last n events.
+func NewRingTracer(n int) *RingTracer { return &RingTracer{buf: make([]TraceEvent, n)} }
+
+// Event implements Tracer.
+func (r *RingTracer) Event(e TraceEvent) {
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (r *RingTracer) Events() []TraceEvent {
+	if !r.full {
+		return append([]TraceEvent(nil), r.buf[:r.next]...)
+	}
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump writes the retained events to w.
+func (r *RingTracer) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// trace is the internal emission helper; a nil tracer costs one branch.
+func (p *Prefetcher) trace(kind TraceKind, addr uint64, kernel, unit int) {
+	if p.Tracer == nil {
+		return
+	}
+	p.Tracer.Event(TraceEvent{At: p.eng.Now(), Kind: kind, Addr: addr, Kernel: kernel, PPU: unit})
+}

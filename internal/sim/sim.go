@@ -1,0 +1,133 @@
+// Package sim provides the discrete-event simulation engine shared by every
+// timed component in the system: the main core, the cache hierarchy, DRAM,
+// and the programmable prefetcher.
+//
+// Time is kept as an integer number of ticks. One tick is 62.5 ps, chosen so
+// that every clock frequency used in the paper's evaluation divides evenly:
+// the 3.2 GHz main core has a 5-tick period, the 1 GHz PPUs 16 ticks, the
+// 800 MHz DDR3 bus 20 ticks, and the PPU sweep frequencies from 125 MHz
+// (128 ticks) to 4 GHz (4 ticks) are all exact.
+package sim
+
+import "container/heap"
+
+// Ticks is a point in (or span of) simulated time. One tick is 62.5 ps.
+type Ticks = int64
+
+// TicksPerNs is the number of ticks in one nanosecond.
+const TicksPerNs = 16
+
+// Clock describes a clock domain by its period in ticks.
+type Clock struct {
+	// Period is the length of one cycle in ticks. It must be positive.
+	Period Ticks
+}
+
+// ClockFromMHz builds a Clock for the given frequency in MHz. The frequency
+// must divide 16 GHz so that the period is a whole number of ticks; every
+// frequency in the paper does.
+func ClockFromMHz(mhz int) Clock {
+	const tickRateMHz = 16000 // 16 ticks/ns = 16 GHz tick rate
+	if mhz <= 0 || tickRateMHz%mhz != 0 {
+		panic("sim: frequency must be a positive divisor of 16 GHz")
+	}
+	return Clock{Period: Ticks(tickRateMHz / mhz)}
+}
+
+// Cycles converts a cycle count in this domain to ticks.
+func (c Clock) Cycles(n int64) Ticks { return n * c.Period }
+
+// ToCycles converts a tick span to whole cycles in this domain, rounding up.
+func (c Clock) ToCycles(t Ticks) int64 { return (t + c.Period - 1) / c.Period }
+
+// NextEdge returns the first clock edge at or after time t.
+func (c Clock) NextEdge(t Ticks) Ticks {
+	r := t % c.Period
+	if r == 0 {
+		return t
+	}
+	return t + c.Period - r
+}
+
+type event struct {
+	at  Ticks
+	seq uint64 // tie-break so simultaneous events run in schedule order
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. Events scheduled for
+// the same tick run in the order they were scheduled, which keeps runs
+// deterministic.
+type Engine struct {
+	now   Ticks
+	seq   uint64
+	queue eventQueue
+}
+
+// NewEngine returns an engine with the clock at tick zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Ticks { return e.now }
+
+// At schedules fn to run at time t. Scheduling in the past panics: it would
+// silently corrupt causality.
+func (e *Engine) At(t Ticks, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d ticks from now.
+func (e *Engine) After(d Ticks, fn func()) { e.At(e.now+d, fn) }
+
+// Pending reports how many events are waiting to run.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step runs the next event, returning false if the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+func (e *Engine) RunUntil(t Ticks) {
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}

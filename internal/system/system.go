@@ -1,0 +1,281 @@
+// Package system assembles the complete simulated machine of Table 1: the
+// out-of-order core, two cache levels, TLB, DDR3 DRAM, and exactly one of
+// the prefetching schemes under comparison (none, stride, GHB Markov, or
+// the programmable prefetcher). It also implements the ir.ConfigSink that
+// routes configuration instructions dispatched on the core into the
+// programmable prefetcher's filter table and global registers.
+package system
+
+import (
+	"fmt"
+
+	"eventpf/internal/baseline"
+	"eventpf/internal/cpu"
+	"eventpf/internal/ir"
+	"eventpf/internal/mem"
+	"eventpf/internal/ppu"
+	"eventpf/internal/prefetch"
+	"eventpf/internal/sim"
+)
+
+// Scheme selects which hardware prefetcher (if any) the machine carries.
+// Software prefetching is not a machine property: it is a property of the
+// benchmark variant being run (extra SWPf instructions in the IR).
+type Scheme int
+
+// Machine prefetching schemes.
+const (
+	NoPF Scheme = iota
+	StridePF
+	GHBRegular
+	GHBLarge
+	Programmable
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case NoPF:
+		return "nopf"
+	case StridePF:
+		return "stride"
+	case GHBRegular:
+		return "ghb-regular"
+	case GHBLarge:
+		return "ghb-large"
+	case Programmable:
+		return "programmable"
+	}
+	return "unknown"
+}
+
+// Config collects every sizing knob of the simulated machine. The zero
+// value is not usable; start from DefaultConfig.
+type Config struct {
+	CoreMHz            int
+	Width, ROB, LQ, SQ int
+	MispredictPenalty  int64
+
+	L1, L2 mem.CacheConfig
+	TLB    mem.TLBConfig
+	DRAM   mem.DRAMConfig
+
+	Prefetcher prefetch.Config
+	Stride     baseline.StrideConfig
+	GHB        baseline.GHBConfig
+
+	// ContextSwitchTicks, if positive, flushes the programmable prefetcher
+	// on this period, modelling context switches (§5.3).
+	ContextSwitchTicks sim.Ticks
+}
+
+// DefaultConfig reproduces Table 1.
+func DefaultConfig() Config {
+	return Config{
+		CoreMHz: 3200, Width: 3, ROB: 40, LQ: 16, SQ: 32,
+		MispredictPenalty: 12,
+		L1:                mem.CacheConfig{Name: "L1D", SizeBytes: 32 << 10, Ways: 2, HitCycles: 2, MSHRs: 12},
+		L2:                mem.CacheConfig{Name: "L2", SizeBytes: 1 << 20, Ways: 16, HitCycles: 12, MSHRs: 16},
+		TLB:               mem.DefaultTLBConfig(),
+		DRAM:              mem.DefaultDRAMConfig(),
+		Prefetcher:        prefetch.DefaultConfig(),
+		Stride:            baseline.DefaultStrideConfig(),
+		GHB:               baseline.RegularGHBConfig(),
+	}
+}
+
+// Machine is one assembled simulation instance. Build the workload's data
+// through Arena/Backing, install kernels with RegisterKernel, then Run.
+type Machine struct {
+	Scheme  Scheme
+	Cfg     Config
+	Eng     *sim.Engine
+	Backing *mem.Backing
+	Arena   *mem.Arena
+	L1      *mem.Cache
+	L2      *mem.Cache
+	DRAM    *mem.DRAM
+	TLB     *mem.TLB
+	Core    *cpu.Core
+	PF      *prefetch.Prefetcher // nil unless Scheme == Programmable
+	StrideU *baseline.Stride     // nil unless Scheme == StridePF
+	GHBU    *baseline.GHB        // nil unless GHB scheme
+
+	// Counter is the shared dynamic micro-op counter for interpreters
+	// feeding this machine's core.
+	Counter *int64
+
+	coreDone bool
+}
+
+// New assembles a machine for the given scheme.
+func New(cfg Config, scheme Scheme) *Machine {
+	eng := sim.NewEngine()
+	bk := mem.NewBacking()
+	coreClk := sim.ClockFromMHz(cfg.CoreMHz)
+
+	dram := mem.NewDRAM(eng, cfg.DRAM)
+	l2 := mem.NewCache(eng, coreClk, cfg.L2, dram)
+	l1 := mem.NewCache(eng, coreClk, cfg.L1, l2)
+	tlb := mem.NewTLB(eng, coreClk, cfg.TLB, bk)
+
+	m := &Machine{
+		Scheme:  scheme,
+		Cfg:     cfg,
+		Eng:     eng,
+		Backing: bk,
+		Arena:   mem.NewArena(bk),
+		L1:      l1,
+		L2:      l2,
+		DRAM:    dram,
+		TLB:     tlb,
+		Counter: new(int64),
+	}
+
+	switch scheme {
+	case Programmable:
+		m.PF = prefetch.New(eng, cfg.Prefetcher, bk, l1, tlb)
+		if cfg.ContextSwitchTicks > 0 {
+			var tick func()
+			tick = func() {
+				if m.coreDone {
+					return // let the engine drain once the program ends
+				}
+				m.PF.Flush()
+				eng.After(cfg.ContextSwitchTicks, tick)
+			}
+			eng.After(cfg.ContextSwitchTicks, tick)
+		}
+	case StridePF:
+		m.StrideU = baseline.NewStride(eng, cfg.Stride, l1, tlb)
+	case GHBRegular:
+		m.GHBU = baseline.NewGHB(eng, cfg.GHB, l1, tlb)
+	case GHBLarge:
+		m.GHBU = baseline.NewGHB(eng, baseline.LargeGHBConfig(), l1, tlb)
+	}
+
+	ports := cpu.Ports{
+		Load: func(addr uint64, pc int, done func(sim.Ticks)) {
+			tlb.Translate(addr, func(ok bool) {
+				if !ok {
+					panic(fmt.Sprintf("system: demand load to unmapped address %#x", addr))
+				}
+				l1.Access(&mem.Request{Addr: addr, Kind: mem.Load, PC: pc,
+					Tag: mem.NoTag, TimedAt: -1, Done: done})
+			})
+		},
+		Store: func(addr uint64, pc int) {
+			l1.Access(&mem.Request{Addr: addr, Kind: mem.Store, PC: pc,
+				Tag: mem.NoTag, TimedAt: -1})
+		},
+		SWPrefetch: func(addr uint64) {
+			tlb.Translate(addr, func(ok bool) {
+				if ok && l1.FreeMSHRs() > 0 {
+					l1.Access(&mem.Request{Addr: addr, Kind: mem.Prefetch, PC: -1,
+						Tag: mem.NoTag, TimedAt: -1})
+				}
+			})
+		},
+	}
+	m.Core = cpu.New(eng, cpu.Config{
+		Clock: coreClk, Width: cfg.Width, ROB: cfg.ROB, LQ: cfg.LQ, SQ: cfg.SQ,
+		MispredictPenalty: cfg.MispredictPenalty,
+	}, ports)
+	return m
+}
+
+// RegisterKernel installs a PPU kernel (no-op on machines without the
+// programmable prefetcher, so benchmark setup code is scheme-agnostic).
+func (m *Machine) RegisterKernel(id int, prog []ppu.Instr) {
+	if m.PF != nil {
+		m.PF.RegisterKernel(id, prog)
+	}
+}
+
+// Configure implements ir.ConfigSink: configuration instructions dispatched
+// by the core program the prefetcher's filter table and global registers.
+func (m *Machine) Configure(info ir.CfgInfo, args []uint64) {
+	if m.PF == nil {
+		return
+	}
+	switch info.Kind {
+	case ir.CfgBounds:
+		if len(args) != 2 {
+			panic("system: CfgBounds expects [lo, hi]")
+		}
+		m.PF.SetRange(info.Slot, prefetch.RangeConfig{
+			Lo: args[0], Hi: args[1],
+			LoadKernel: info.LoadKernel,
+			PFKernel:   info.PFKernel,
+			EWMAGroup:  info.EWMAGroup,
+			Interval:   info.Interval,
+			TimedStart: info.TimedStart,
+			TimedEnd:   info.TimedEnd,
+		})
+	case ir.CfgGlobal:
+		if len(args) != 1 {
+			panic("system: CfgGlobal expects [value]")
+		}
+		m.PF.SetGlobal(info.GReg, args[0])
+	}
+}
+
+// NewInterp builds an interpreter for fn wired to this machine's backing
+// store, configuration sink and micro-op counter.
+func (m *Machine) NewInterp(fn *ir.Fn, args ...uint64) *ir.Interp {
+	return ir.NewInterp(fn, m.Backing, m, m.Counter, args...)
+}
+
+// Result captures everything the harness reports about one run.
+type Result struct {
+	Scheme   Scheme
+	Core     cpu.Stats
+	L1       mem.CacheStats
+	L2       mem.CacheStats
+	DRAM     mem.DRAMStats
+	TLB      mem.TLBStats
+	PF       prefetch.Stats
+	Activity []float64 // per-PPU awake fractions (programmable only)
+	// Lookaheads are the EWMA look-ahead distances at end of run.
+	Lookaheads [8]uint64
+	Baseline   baseline.IssuerStats
+	Ticks      sim.Ticks
+	Cycles     int64
+}
+
+// Run executes the micro-op stream to completion and returns the collected
+// statistics.
+func (m *Machine) Run(stream cpu.Stream) Result {
+	done := false
+	m.Core.Run(stream, func() { done = true; m.coreDone = true })
+	m.Eng.Run()
+	if !done {
+		panic("system: simulation deadlocked: engine drained before the core finished")
+	}
+	m.L1.FinalizeStats()
+	m.L2.FinalizeStats()
+
+	r := Result{
+		Scheme: m.Scheme,
+		Core:   m.Core.Stats,
+		L1:     m.L1.Stats,
+		L2:     m.L2.Stats,
+		DRAM:   m.DRAM.Stats,
+		TLB:    m.TLB.Stats,
+		Ticks:  m.Core.Stats.FinishTick,
+		Cycles: m.Core.Stats.Cycles,
+	}
+	if m.PF != nil {
+		r.PF = m.PF.Stats
+		r.Activity = m.PF.ActivityFactors()
+		for g := range r.Lookaheads {
+			r.Lookaheads[g] = m.PF.Lookahead(g)
+		}
+	}
+	if m.StrideU != nil {
+		r.Baseline = m.StrideU.Stats()
+	}
+	if m.GHBU != nil {
+		r.Baseline = m.GHBU.Stats()
+	}
+	return r
+}
