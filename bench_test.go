@@ -26,6 +26,7 @@ func suite() *eventpf.Suite {
 // BenchmarkTable1Config reports the Table 1 machine configuration (a
 // correctness anchor: the bench fails if the defaults drift).
 func BenchmarkTable1Config(b *testing.B) {
+	b.ReportAllocs()
 	cfg := eventpf.DefaultMachineConfig()
 	if cfg.Width != 3 || cfg.ROB != 40 || cfg.LQ != 16 || cfg.SQ != 32 {
 		b.Fatalf("core config drifted: %+v", cfg)
@@ -43,6 +44,7 @@ func BenchmarkTable1Config(b *testing.B) {
 
 // BenchmarkTable2Benchmarks checks the benchmark roster.
 func BenchmarkTable2Benchmarks(b *testing.B) {
+	b.ReportAllocs()
 	if len(eventpf.Benchmarks()) != 8 {
 		b.Fatalf("want 8 benchmarks, have %d", len(eventpf.Benchmarks()))
 	}
@@ -54,6 +56,7 @@ func BenchmarkTable2Benchmarks(b *testing.B) {
 // BenchmarkFig7Speedups regenerates Figure 7 and reports the geometric-mean
 // speedup of the manual scheme (the paper's 3.0x headline).
 func BenchmarkFig7Speedups(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := suite()
 		rows, err := s.Fig7()
@@ -73,6 +76,7 @@ func BenchmarkFig7Speedups(b *testing.B) {
 
 // BenchmarkFig8aUtilisation regenerates Figure 8(a).
 func BenchmarkFig8aUtilisation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := suite().Fig8()
 		if err != nil {
@@ -88,6 +92,7 @@ func BenchmarkFig8aUtilisation(b *testing.B) {
 
 // BenchmarkFig8bHitRates regenerates Figure 8(b).
 func BenchmarkFig8bHitRates(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := suite().Fig8()
 		if err != nil {
@@ -103,6 +108,7 @@ func BenchmarkFig8bHitRates(b *testing.B) {
 
 // BenchmarkFig9aClockSweep regenerates Figure 9(a): PPU frequency sweep.
 func BenchmarkFig9aClockSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := suite().Fig9a()
 		if err != nil {
@@ -119,6 +125,7 @@ func BenchmarkFig9aClockSweep(b *testing.B) {
 // BenchmarkFig9bPPUCount regenerates Figure 9(b): PPU count × clock for
 // G500-CSR (the paper's count-frequency equivalence).
 func BenchmarkFig9bPPUCount(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cells, err := suite().Fig9b()
 		if err != nil {
@@ -140,6 +147,7 @@ func BenchmarkFig9bPPUCount(b *testing.B) {
 
 // BenchmarkFig10Activity regenerates Figure 10: PPU activity factors.
 func BenchmarkFig10Activity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := suite().Fig10()
 		if err != nil {
@@ -157,6 +165,7 @@ func BenchmarkFig10Activity(b *testing.B) {
 
 // BenchmarkFig11Blocking regenerates Figure 11: events vs blocking.
 func BenchmarkFig11Blocking(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := suite().Fig11()
 		if err != nil {
@@ -175,6 +184,7 @@ func BenchmarkFig11Blocking(b *testing.B) {
 // BenchmarkInstrOverhead regenerates the §7.1 software-prefetch dynamic
 // instruction increases.
 func BenchmarkInstrOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := suite().InstrOverhead()
 		if err != nil {
@@ -192,6 +202,7 @@ func BenchmarkInstrOverhead(b *testing.B) {
 
 // BenchmarkExtraMem regenerates the §7.2 extra-memory-traffic analysis.
 func BenchmarkExtraMem(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := suite().ExtraMem()
 		if err != nil {

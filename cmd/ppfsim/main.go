@@ -4,6 +4,7 @@
 // Usage:
 //
 //	ppfsim -bench HJ-8 -scheme manual -scale 0.25
+//	ppfsim -bench HJ-8 -scheme manual -baseline -parallel 2
 //	ppfsim -list
 package main
 
@@ -25,6 +26,7 @@ func main() {
 		ppus      = flag.Int("ppus", 0, "override PPU count (0 = default 12)")
 		ppuMHz    = flag.Int("ppu-mhz", 0, "override PPU clock in MHz (0 = default 1000)")
 		baseline  = flag.Bool("baseline", false, "also run without prefetching and report the speedup")
+		parallel  = flag.Int("parallel", 0, "with -baseline, run both simulations concurrently (0 = GOMAXPROCS, 1 = serial)")
 		trace     = flag.Int("trace", 0, "dump the last N prefetcher trace events after the run")
 		jsonOut   = flag.Bool("json", false, "emit the full result record as JSON")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
@@ -47,8 +49,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := harness.Options{Scale: *scale, PPUs: *ppus, PPUMHz: *ppuMHz, TraceLast: *trace}
-	res, err := harness.Run(b, scheme, opt)
+	opt := harness.Options{Scale: *scale, PPUs: *ppus, PPUMHz: *ppuMHz, TraceLast: *trace, Parallel: *parallel}
+
+	var res, base harness.Result
+	var err error
+	runBaseline := *baseline && scheme != harness.NoPF
+	if runBaseline {
+		// A two-pair suite overlaps the measured run with its no-prefetch
+		// baseline; results are bit-identical to two serial harness.Run
+		// calls because each simulation is deterministic.
+		s := harness.NewSuite(opt)
+		pairs := []harness.Pair{{Bench: b, Scheme: scheme}, {Bench: b, Scheme: harness.NoPF}}
+		if err = s.Prefetch(pairs); err == nil {
+			if res, err = s.Run(pairs[0]); err == nil {
+				base, err = s.Run(pairs[1])
+			}
+		}
+	} else {
+		res, err = harness.Run(b, scheme, opt)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
 		os.Exit(1)
@@ -68,12 +87,7 @@ func main() {
 		res.Trace.Dump(os.Stdout)
 	}
 
-	if *baseline && scheme != harness.NoPF {
-		base, err := harness.Run(b, harness.NoPF, opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ppfsim: baseline: %v\n", err)
-			os.Exit(1)
-		}
+	if runBaseline {
 		fmt.Printf("\nno-pf cycles   %12d\nspeedup        %12.2fx\n",
 			base.Cycles, harness.Speedup(base, res))
 	}

@@ -6,6 +6,7 @@
 //	ppftables                 # every experiment at the default scale
 //	ppftables -exp fig7       # one experiment
 //	ppftables -scale 1.0      # full reduced-input size (slower)
+//	ppftables -parallel 8     # cap the worker pool (default GOMAXPROCS)
 package main
 
 import (
@@ -24,12 +25,13 @@ var experiments = []string{
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (table1 table2 fig7 fig8a fig8b fig9a fig9b fig10 fig11 instrs extramem ablation ctxswitch) or 'all'")
-		scale = flag.Float64("scale", 0.15, "input scale relative to the default reduced inputs")
+		exp      = flag.String("exp", "all", "experiment id (table1 table2 fig7 fig8a fig8b fig9a fig9b fig10 fig11 instrs extramem ablation ctxswitch) or 'all'")
+		scale    = flag.Float64("scale", 0.15, "input scale relative to the default reduced inputs")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
-	suite := harness.NewSuite(harness.Options{Scale: *scale})
+	suite := harness.NewSuite(harness.Options{Scale: *scale, Parallel: *parallel})
 	todo := experiments
 	if *exp != "all" {
 		todo = []string{*exp}

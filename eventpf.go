@@ -68,9 +68,15 @@ func Run(b *Benchmark, s Scheme, opt Options) (Result, error) { return harness.R
 // Speedup returns base.Cycles / run.Cycles.
 func Speedup(base, run Result) float64 { return harness.Speedup(base, run) }
 
-// Suite memoises runs across experiments; it regenerates every figure of
-// the paper's evaluation. See the Fig7…Fig11 methods.
+// Suite memoises runs across experiments and fans independent simulations
+// out over a bounded worker pool (Options.Parallel, default GOMAXPROCS);
+// it regenerates every figure of the paper's evaluation. See the
+// Fig7…Fig11 methods, Prefetch and Run.
 type Suite = harness.Suite
+
+// Pair names one benchmark×scheme measurement (with optional PPU sizing)
+// for Suite.Prefetch and Suite.Run.
+type Pair = harness.Pair
 
 // NewSuite prepares an experiment suite.
 func NewSuite(opt Options) *Suite { return harness.NewSuite(opt) }

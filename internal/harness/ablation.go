@@ -19,45 +19,50 @@ type AblationRow struct {
 
 // Ablations measures sensitivity to the design parameters DESIGN.md calls
 // out: observation-queue depth, prefetch-request-queue depth, and the MSHR
-// count shared with demand traffic.
+// count shared with demand traffic. The mutated-Config runs cannot use the
+// suite memo, so they fan out directly on the worker pool; rows come back
+// in the fixed job order regardless of completion order.
 func (s *Suite) Ablations() ([]AblationRow, error) {
 	b := workloads.HJ8
 	base, err := s.run(b, NoPF)
 	if err != nil {
 		return nil, err
 	}
-	var rows []AblationRow
 
-	run := func(param string, value int, mutate func(cfg *system.Config)) error {
+	type job struct {
+		param  string
+		value  int
+		mutate func(cfg *system.Config)
+	}
+	var jobs []job
+	for _, q := range []int{5, 10, 40, 160} {
+		q := q
+		jobs = append(jobs, job{"obs-queue", q, func(cfg *system.Config) { cfg.Prefetcher.ObsQueue = q }})
+	}
+	for _, q := range []int{25, 50, 200, 800} {
+		q := q
+		jobs = append(jobs, job{"req-queue", q, func(cfg *system.Config) { cfg.Prefetcher.ReqQueue = q }})
+	}
+	for _, m := range []int{6, 12, 24} {
+		m := m
+		jobs = append(jobs, job{"l1-mshrs", m, func(cfg *system.Config) { cfg.L1.MSHRs = m }})
+	}
+
+	rows := make([]AblationRow, len(jobs))
+	err = s.fanOut(len(jobs), func(i int) error {
 		cfg := system.DefaultConfig()
-		mutate(&cfg)
+		jobs[i].mutate(&cfg)
 		opt := s.Opt
 		opt.Config = &cfg
 		r, err := Run(b, Manual, opt)
 		if err != nil {
 			return err
 		}
-		rows = append(rows, AblationRow{Parameter: param, Value: value, Speedup: Speedup(base, r)})
+		rows[i] = AblationRow{Parameter: jobs[i].param, Value: jobs[i].value, Speedup: Speedup(base, r)}
 		return nil
-	}
-
-	for _, q := range []int{5, 10, 40, 160} {
-		q := q
-		if err := run("obs-queue", q, func(cfg *system.Config) { cfg.Prefetcher.ObsQueue = q }); err != nil {
-			return nil, err
-		}
-	}
-	for _, q := range []int{25, 50, 200, 800} {
-		q := q
-		if err := run("req-queue", q, func(cfg *system.Config) { cfg.Prefetcher.ReqQueue = q }); err != nil {
-			return nil, err
-		}
-	}
-	for _, m := range []int{6, 12, 24} {
-		m := m
-		if err := run("l1-mshrs", m, func(cfg *system.Config) { cfg.L1.MSHRs = m }); err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -86,17 +91,22 @@ func (s *Suite) ContextSwitches() ([]ContextSwitchRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []ContextSwitchRow
-	for _, cyc := range []int64{0, 1_000_000, 100_000, 10_000} {
+	intervals := []int64{0, 1_000_000, 100_000, 10_000}
+	rows := make([]ContextSwitchRow, len(intervals))
+	err = s.fanOut(len(intervals), func(i int) error {
 		cfg := system.DefaultConfig()
-		cfg.ContextSwitchTicks = cyc * 5 // core cycles → ticks
+		cfg.ContextSwitchTicks = intervals[i] * 5 // core cycles → ticks
 		opt := s.Opt
 		opt.Config = &cfg
 		r, err := Run(b, Manual, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ContextSwitchRow{IntervalCycles: cyc, Speedup: Speedup(base, r)})
+		rows[i] = ContextSwitchRow{IntervalCycles: intervals[i], Speedup: Speedup(base, r)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,39 +1,188 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"eventpf/internal/system"
 	"eventpf/internal/workloads"
 )
 
-// Suite memoises default-configuration runs so experiments that share
-// measurements (Figures 7, 8 and 11 all need the no-prefetch baseline) do
-// not repeat simulations.
+// Suite memoises runs so experiments that share measurements (Figures 7, 8
+// and 11 all need the no-prefetch baseline) do not repeat simulations, and
+// fans independent simulations out over a bounded worker pool. Each
+// simulation's Machine lives on exactly one worker goroutine; the memo is a
+// singleflight, so concurrent figure generators requesting the same
+// benchmark×scheme pair share one run. Because every simulation is
+// deterministic, results are bit-identical however they are scheduled.
 type Suite struct {
-	Opt   Options
-	cache map[string]Result
+	Opt Options
+
+	mu    sync.Mutex
+	cache map[string]*suiteCall
+	sem   chan struct{} // worker pool: one token per concurrent simulation
 }
 
-// NewSuite prepares a suite; opt.Scale scales every benchmark input.
+// suiteCall is one memoised (possibly in-flight) measurement.
+type suiteCall struct {
+	done chan struct{} // closed when res/err are valid
+	res  Result
+	err  error
+}
+
+// NewSuite prepares a suite; opt.Scale scales every benchmark input and
+// opt.Parallel sizes the worker pool (0 = GOMAXPROCS).
 func NewSuite(opt Options) *Suite {
-	return &Suite{Opt: opt, cache: map[string]Result{}}
+	n := opt.Parallel
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Suite{
+		Opt:   opt,
+		cache: map[string]*suiteCall{},
+		sem:   make(chan struct{}, n),
+	}
+}
+
+// Pair names one memoisable measurement: a benchmark×scheme pair, with the
+// optional PPU-sizing overrides the Figure 9 sweeps use (0 = suite default).
+type Pair struct {
+	Bench  *workloads.Benchmark
+	Scheme Scheme
+	PPUs   int
+	PPUMHz int
+}
+
+// key folds the overrides down to their effective values so that, e.g., the
+// Figure 9(a) 1000 MHz point and the default Manual run share one
+// simulation, and schemes that never touch a PPU collapse onto one entry
+// regardless of requested sizing.
+func (s *Suite) key(p Pair) string {
+	ppus, mhz := p.PPUs, p.PPUMHz
+	if ppus == 0 {
+		ppus = s.Opt.PPUs
+	}
+	if mhz == 0 {
+		mhz = s.Opt.PPUMHz
+	}
+	switch p.Scheme {
+	case Pragma, Converted, Manual, ManualBlocked:
+		cfg := optConfig(s.Opt)
+		if ppus == 0 {
+			ppus = cfg.Prefetcher.NumPPUs
+		}
+		if mhz == 0 {
+			mhz = int(16000 / cfg.Prefetcher.PPUClock.Period) // ticks → MHz
+		}
+	default: // no programmable prefetcher: sizing cannot affect the run
+		ppus, mhz = 0, 0
+	}
+	return fmt.Sprintf("%s/%s/p%d/f%d", p.Bench.Name, p.Scheme, ppus, mhz)
 }
 
 func (s *Suite) run(b *workloads.Benchmark, sch Scheme) (Result, error) {
-	key := b.Name + "/" + sch.String()
-	if r, ok := s.cache[key]; ok {
-		return r, nil
+	return s.runPair(Pair{Bench: b, Scheme: sch})
+}
+
+// Run returns the memoised measurement for p, simulating it on the worker
+// pool if it is not cached yet. Callers that need several pairs should
+// Prefetch them first so the simulations overlap.
+func (s *Suite) Run(p Pair) (Result, error) { return s.runPair(p) }
+
+// runPair returns the memoised measurement for p, running it if needed. The
+// first caller for a key executes the simulation (holding a worker-pool
+// token); later callers block on the same entry without consuming a worker,
+// so a full fan-out can never deadlock the pool.
+func (s *Suite) runPair(p Pair) (Result, error) {
+	key := s.key(p)
+	s.mu.Lock()
+	c, ok := s.cache[key]
+	if ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.res, c.err
 	}
-	r, err := Run(b, sch, s.Opt)
-	if err != nil {
-		return r, err
+	c = &suiteCall{done: make(chan struct{})}
+	s.cache[key] = c
+	s.mu.Unlock()
+
+	s.sem <- struct{}{}
+	opt := s.Opt
+	if p.PPUs != 0 {
+		opt.PPUs = p.PPUs
 	}
-	s.cache[key] = r
-	return r, nil
+	if p.PPUMHz != 0 {
+		opt.PPUMHz = p.PPUMHz
+	}
+	c.res, c.err = Run(p.Bench, p.Scheme, opt)
+	<-s.sem
+	close(c.done)
+	return c.res, c.err
+}
+
+// Prefetch runs every pair concurrently on the worker pool, warming the
+// memo so the figure generators' subsequent collection loops hit the cache.
+// ErrUnsupported pairs (the paper's missing bars) are not errors; the first
+// other failure is returned after all workers finish.
+func (s *Suite) Prefetch(pairs []Pair) error {
+	return forEach(len(pairs), func(i int) error {
+		_, err := s.runPair(pairs[i])
+		if errors.Is(err, ErrUnsupported) {
+			return nil
+		}
+		return err
+	})
+}
+
+// fanOut runs n independent jobs on the suite's worker pool and waits for
+// all of them; used for configurations the memo cannot key (custom Config
+// mutations in the ablations). fn must confine everything it builds to its
+// own call.
+func (s *Suite) fanOut(n int, fn func(i int) error) error {
+	return forEach(n, func(i int) error {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		return fn(i)
+	})
+}
+
+// forEach runs fn(0..n-1) on separate goroutines, waits for all, and
+// returns the lowest-indexed error so a parallel suite reports the same
+// failure a serial one would have hit first.
+func forEach(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crossAll builds the cross product of every Table 2 benchmark with the
+// given schemes, the request shape shared by most figures.
+func crossAll(schemes ...Scheme) []Pair {
+	var pairs []Pair
+	for _, b := range workloads.All {
+		for _, sch := range schemes {
+			pairs = append(pairs, Pair{Bench: b, Scheme: sch})
+		}
+	}
+	return pairs
 }
 
 // Fig7Row is one benchmark's bars in Figure 7: speedup over no prefetching.
@@ -45,6 +194,16 @@ type Fig7Row struct {
 
 // Fig7 reproduces Figure 7: speedups for all schemes on all benchmarks.
 func (s *Suite) Fig7() ([]Fig7Row, error) {
+	var pairs []Pair
+	for _, b := range workloads.All {
+		pairs = append(pairs, Pair{Bench: b, Scheme: NoPF})
+		for _, sch := range Schemes {
+			pairs = append(pairs, Pair{Bench: b, Scheme: sch})
+		}
+	}
+	if err := s.Prefetch(pairs); err != nil {
+		return nil, err
+	}
 	var rows []Fig7Row
 	for _, b := range workloads.All {
 		base, err := s.run(b, NoPF)
@@ -123,6 +282,9 @@ type Fig8Row struct {
 
 // Fig8 reproduces Figure 8.
 func (s *Suite) Fig8() ([]Fig8Row, error) {
+	if err := s.Prefetch(crossAll(NoPF, Manual)); err != nil {
+		return nil, err
+	}
 	var rows []Fig8Row
 	for _, b := range workloads.All {
 		base, err := s.run(b, NoPF)
@@ -174,6 +336,16 @@ type Fig9aRow struct {
 
 // Fig9a reproduces Figure 9(a).
 func (s *Suite) Fig9a() ([]Fig9aRow, error) {
+	var pairs []Pair
+	for _, b := range workloads.All {
+		pairs = append(pairs, Pair{Bench: b, Scheme: NoPF})
+		for _, mhz := range Fig9aClocks {
+			pairs = append(pairs, Pair{Bench: b, Scheme: Manual, PPUMHz: mhz})
+		}
+	}
+	if err := s.Prefetch(pairs); err != nil {
+		return nil, err
+	}
 	var rows []Fig9aRow
 	for _, b := range workloads.All {
 		base, err := s.run(b, NoPF)
@@ -182,9 +354,7 @@ func (s *Suite) Fig9a() ([]Fig9aRow, error) {
 		}
 		row := Fig9aRow{Benchmark: b.Name, Speedup: map[int]float64{}}
 		for _, mhz := range Fig9aClocks {
-			opt := s.Opt
-			opt.PPUMHz = mhz
-			r, err := Run(b, Manual, opt)
+			r, err := s.runPair(Pair{Bench: b, Scheme: Manual, PPUMHz: mhz})
 			if err != nil {
 				return nil, err
 			}
@@ -222,6 +392,15 @@ type Fig9bCell struct {
 
 // Fig9b reproduces Figure 9(b): G500-CSR speedup across PPU count and clock.
 func (s *Suite) Fig9b() ([]Fig9bCell, error) {
+	pairs := []Pair{{Bench: workloads.G500CSR, Scheme: NoPF}}
+	for _, ppus := range Fig9bPPUs {
+		for _, mhz := range Fig9bClocks {
+			pairs = append(pairs, Pair{Bench: workloads.G500CSR, Scheme: Manual, PPUs: ppus, PPUMHz: mhz})
+		}
+	}
+	if err := s.Prefetch(pairs); err != nil {
+		return nil, err
+	}
 	base, err := s.run(workloads.G500CSR, NoPF)
 	if err != nil {
 		return nil, err
@@ -229,10 +408,7 @@ func (s *Suite) Fig9b() ([]Fig9bCell, error) {
 	var cells []Fig9bCell
 	for _, ppus := range Fig9bPPUs {
 		for _, mhz := range Fig9bClocks {
-			opt := s.Opt
-			opt.PPUs = ppus
-			opt.PPUMHz = mhz
-			r, err := Run(workloads.G500CSR, Manual, opt)
+			r, err := s.runPair(Pair{Bench: workloads.G500CSR, Scheme: Manual, PPUs: ppus, PPUMHz: mhz})
 			if err != nil {
 				return nil, err
 			}
@@ -275,6 +451,9 @@ type Fig10Row struct {
 
 // Fig10 reproduces Figure 10.
 func (s *Suite) Fig10() ([]Fig10Row, error) {
+	if err := s.Prefetch(crossAll(Manual)); err != nil {
+		return nil, err
+	}
 	var rows []Fig10Row
 	for _, b := range workloads.All {
 		r, err := s.run(b, Manual)
@@ -320,6 +499,9 @@ type Fig11Row struct {
 
 // Fig11 reproduces Figure 11.
 func (s *Suite) Fig11() ([]Fig11Row, error) {
+	if err := s.Prefetch(crossAll(NoPF, Manual, ManualBlocked)); err != nil {
+		return nil, err
+	}
 	var rows []Fig11Row
 	for _, b := range workloads.All {
 		base, err := s.run(b, NoPF)
@@ -365,6 +547,9 @@ type InstrRow struct {
 // InstrOverhead reproduces the §7.1 instruction-increase numbers
 // (paper: IntSort +113 %, RandAcc +83 %, HJ-2 +56 %).
 func (s *Suite) InstrOverhead() ([]InstrRow, error) {
+	if err := s.Prefetch(crossAll(NoPF, Software)); err != nil {
+		return nil, err
+	}
 	var rows []InstrRow
 	for _, b := range workloads.All {
 		base, err := s.run(b, NoPF)
@@ -410,6 +595,9 @@ type ExtraMemRow struct {
 
 // ExtraMem reproduces the extra-memory-access analysis.
 func (s *Suite) ExtraMem() ([]ExtraMemRow, error) {
+	if err := s.Prefetch(crossAll(NoPF, Manual)); err != nil {
+		return nil, err
+	}
 	var rows []ExtraMemRow
 	for _, b := range workloads.All {
 		base, err := s.run(b, NoPF)

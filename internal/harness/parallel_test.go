@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"eventpf/internal/ir"
+	"eventpf/internal/system"
+	"eventpf/internal/workloads"
+)
+
+// TestParallelSuiteMatchesSerial is the central determinism guarantee of
+// the worker-pool suite: the same benchmark×scheme run twice serially and
+// once through a wide parallel suite must agree on every architectural
+// count. Run with -race, this also proves each Machine stays confined to
+// its goroutine.
+func TestParallelSuiteMatchesSerial(t *testing.T) {
+	benches := []*workloads.Benchmark{workloads.HJ2, workloads.RandAcc, workloads.G500CSR}
+	schemes := []Scheme{NoPF, Stride, Manual}
+
+	type key struct {
+		b string
+		s Scheme
+	}
+	serial := map[key]Result{}
+	for _, b := range benches {
+		for _, sch := range schemes {
+			r1, err := Run(b, sch, Options{Scale: testScale})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, sch, err)
+			}
+			r2, err := Run(b, sch, Options{Scale: testScale})
+			if err != nil {
+				t.Fatalf("%s/%s rerun: %v", b.Name, sch, err)
+			}
+			if r1.Cycles != r2.Cycles {
+				t.Fatalf("%s/%s: serial reruns disagree: %d vs %d cycles", b.Name, sch, r1.Cycles, r2.Cycles)
+			}
+			serial[key{b.Name, sch}] = r1
+		}
+	}
+
+	s := NewSuite(Options{Scale: testScale, Parallel: 8})
+	var pairs []Pair
+	for _, b := range benches {
+		for _, sch := range schemes {
+			pairs = append(pairs, Pair{Bench: b, Scheme: sch})
+		}
+	}
+	if err := s.Prefetch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		got, err := s.Run(p)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", p.Bench.Name, p.Scheme, err)
+		}
+		want := serial[key{p.Bench.Name, p.Scheme}]
+		if got.Cycles != want.Cycles {
+			t.Errorf("%s/%s: parallel %d cycles, serial %d", p.Bench.Name, p.Scheme, got.Cycles, want.Cycles)
+		}
+		if got.Core.Ops != want.Core.Ops || got.DRAM.Reads != want.DRAM.Reads ||
+			got.L1 != want.L1 || got.L2 != want.L2 ||
+			got.PF.KernelRuns != want.PF.KernelRuns || got.PF.Issued != want.PF.Issued {
+			t.Errorf("%s/%s: parallel stats diverge from serial: %+v vs %+v",
+				p.Bench.Name, p.Scheme, got.Result, want.Result)
+		}
+	}
+}
+
+// TestPrefetchSharesBaseline checks the singleflight memo: requesting the
+// same pair many times concurrently must leave exactly one cache entry per
+// distinct configuration.
+func TestPrefetchSharesBaseline(t *testing.T) {
+	s := NewSuite(Options{Scale: testScale, Parallel: 4})
+	pairs := []Pair{
+		{Bench: workloads.HJ2, Scheme: NoPF},
+		{Bench: workloads.HJ2, Scheme: NoPF},
+		{Bench: workloads.HJ2, Scheme: NoPF},
+		{Bench: workloads.HJ2, Scheme: Manual},
+		// Explicit default sizing must collapse onto the default Manual run.
+		{Bench: workloads.HJ2, Scheme: Manual, PPUs: 12, PPUMHz: 1000},
+	}
+	if err := s.Prefetch(pairs); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	n := len(s.cache)
+	s.mu.Unlock()
+	if n != 2 {
+		t.Errorf("cache has %d entries, want 2 (shared baseline + shared manual)", n)
+	}
+}
+
+// TestPrefetchIgnoresUnsupported mirrors the paper's missing Figure 7 bars:
+// a batch containing an unsupported pair must still succeed.
+func TestPrefetchIgnoresUnsupported(t *testing.T) {
+	s := NewSuite(Options{Scale: testScale, Parallel: 2})
+	err := s.Prefetch([]Pair{
+		{Bench: workloads.PageRank, Scheme: Software},
+		{Bench: workloads.HJ2, Scheme: NoPF},
+	})
+	if err != nil {
+		t.Fatalf("Prefetch with an unsupported pair: %v", err)
+	}
+	if _, err := s.Run(Pair{Bench: workloads.PageRank, Scheme: Software}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("collecting the unsupported pair: %v, want ErrUnsupported", err)
+	}
+}
+
+// TestParallelFigureGeneratorsShareOneSuite drives two figure generators
+// that overlap on the no-prefetch baseline through one suite; under -race
+// this exercises concurrent memo access from the fan-out paths.
+func TestParallelFigureGeneratorsShareOneSuite(t *testing.T) {
+	s := NewSuite(Options{Scale: figScale, Parallel: 8})
+	rows8, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows11, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows8) != len(workloads.All) || len(rows11) != len(workloads.All) {
+		t.Fatalf("rows: fig8 %d, fig11 %d", len(rows8), len(rows11))
+	}
+	// Same suite, same memo: Fig11's Manual results derive from the exact
+	// runs Fig8 already measured, so the two figures must agree.
+	serial := NewSuite(Options{Scale: figScale, Parallel: 1})
+	srows, err := serial.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows11 {
+		if rows11[i] != srows[i] {
+			t.Errorf("fig11 row %d: parallel %+v, serial %+v", i, rows11[i], srows[i])
+		}
+	}
+}
+
+// TestRunRejectsEmptyInstance pins the guard for benchmark instances with
+// no kernel invocations: a clear error, not a nil-interpreter panic.
+func TestRunRejectsEmptyInstance(t *testing.T) {
+	empty := &workloads.Benchmark{
+		Name: "empty",
+		Build: func(m *system.Machine, scale float64) *workloads.Instance {
+			return &workloads.Instance{
+				BuildFn: func(v workloads.Variant) *ir.Fn {
+					b := ir.NewBuilder("noop", 0)
+					b.SetBlock(b.NewBlock("entry"))
+					b.Ret(b.Const(0))
+					return b.MustFinish()
+				},
+				Check: func(m *system.Machine, ret uint64, hasRet bool) error { return nil },
+			}
+		},
+	}
+	_, err := Run(empty, NoPF, Options{Scale: testScale})
+	if err == nil {
+		t.Fatal("Run on an instance with no runs succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "no runs") {
+		t.Errorf("error %q does not name the empty-runs condition", err)
+	}
+}

@@ -79,6 +79,10 @@ type Options struct {
 	// TraceLast, if positive, attaches a ring tracer of that size to the
 	// programmable prefetcher and returns it in Result.Trace.
 	TraceLast int
+	// Parallel bounds how many simulations a Suite runs concurrently;
+	// 0 means GOMAXPROCS. Run itself is always a single simulation on the
+	// calling goroutine — each Machine stays confined to one goroutine.
+	Parallel int
 }
 
 // Result is one benchmark × scheme measurement.
@@ -124,6 +128,11 @@ func Run(b *workloads.Benchmark, scheme Scheme, opt Options) (Result, error) {
 	fn := inst.BuildFn(variantFor(scheme))
 	if fn == nil {
 		return Result{}, ErrUnsupported
+	}
+	if len(inst.Runs) == 0 {
+		// Without this guard the post-run oracle check would dereference a
+		// nil final interpreter.
+		return Result{}, fmt.Errorf("harness: %s: benchmark instance has no runs", b.Name)
 	}
 
 	res := Result{Benchmark: b.Name, Scheme: scheme}

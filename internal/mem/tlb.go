@@ -55,6 +55,12 @@ type TLB struct {
 	activeWalks int
 	walkQueue   []func()
 
+	// useClock orders LRU touches. It is per-TLB (not package-level) so
+	// machines running on different goroutines never share mutable state;
+	// only the relative order within one TLB's sets matters, so moving the
+	// counter into the struct leaves every serial simulation bit-identical.
+	useClock int64
+
 	Stats TLBStats
 }
 
@@ -76,20 +82,18 @@ func NewTLB(eng *sim.Engine, clk sim.Clock, cfg TLBConfig, bk *Backing) *TLB {
 	return t
 }
 
-var tlbUseClock int64
-
-func findAndTouch(set []tlbEntry, page uint64) bool {
+func (t *TLB) findAndTouch(set []tlbEntry, page uint64) bool {
 	for i := range set {
 		if set[i].valid && set[i].page == page {
-			tlbUseClock++
-			set[i].lastUse = tlbUseClock
+			t.useClock++
+			set[i].lastUse = t.useClock
 			return true
 		}
 	}
 	return false
 }
 
-func insertLRU(set []tlbEntry, page uint64) {
+func (t *TLB) insertLRU(set []tlbEntry, page uint64) {
 	victim := &set[0]
 	for i := range set {
 		if !set[i].valid {
@@ -100,8 +104,8 @@ func insertLRU(set []tlbEntry, page uint64) {
 			victim = &set[i]
 		}
 	}
-	tlbUseClock++
-	*victim = tlbEntry{page: page, valid: true, lastUse: tlbUseClock}
+	t.useClock++
+	*victim = tlbEntry{page: page, valid: true, lastUse: t.useClock}
 }
 
 // Translate resolves the page containing addr, then calls done with whether
@@ -111,17 +115,17 @@ func (t *TLB) Translate(addr uint64, done func(ok bool)) {
 	t.Stats.Accesses++
 	page := PageAddr(addr)
 
-	if findAndTouch(t.l1, page) {
+	if t.findAndTouch(t.l1, page) {
 		t.Stats.L1Hits++
 		done(true)
 		return
 	}
 
 	set := t.l2[(page/PageSize)%uint64(len(t.l2))]
-	if findAndTouch(set, page) {
+	if t.findAndTouch(set, page) {
 		t.Stats.L2Hits++
 		t.eng.After(t.clk.Cycles(t.cfg.L2HitCycles), func() {
-			insertLRU(t.l1, page)
+			t.insertLRU(t.l1, page)
 			done(true)
 		})
 		return
@@ -134,8 +138,8 @@ func (t *TLB) Translate(addr uint64, done func(ok bool)) {
 			t.activeWalks--
 			ok := t.bk.Mapped(page)
 			if ok {
-				insertLRU(t.l1, page)
-				insertLRU(set, page)
+				t.insertLRU(t.l1, page)
+				t.insertLRU(set, page)
 			} else {
 				t.Stats.Faults++
 			}

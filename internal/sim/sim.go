@@ -9,8 +9,6 @@
 // (128 ticks) to 4 GHz (4 ticks) are all exact.
 package sim
 
-import "container/heap"
-
 // Ticks is a point in (or span of) simulated time. One tick is 62.5 ps.
 type Ticks = int64
 
@@ -55,28 +53,74 @@ type event struct {
 	fn  func()
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before is the heap ordering: earliest time first, schedule order within a
+// tick. (at, seq) is a total order, so the pop sequence is unique and any
+// correct heap yields bit-identical simulations.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+// eventQueue is a concrete binary min-heap over a reusable backing slice.
+// It deliberately avoids container/heap: the interface{} boxing there costs
+// one allocation per Push and per Pop, which dominates the scheduler on the
+// simulator's hot path. Here Push appends into retained capacity and Pop
+// shrinks the length, so steady-state operation allocates nothing.
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// min returns the earliest event without removing it; the queue must be
+// non-empty.
+func (q *eventQueue) min() event { return q.ev[0] }
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.ev[i].before(q.ev[p]) {
+			break
+		}
+		q.ev[i], q.ev[p] = q.ev[p], q.ev[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{} // release the closure so finished events can be GC'd
+	q.ev = q.ev[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && q.ev[r].before(q.ev[l]) {
+			c = r
+		}
+		if !q.ev[c].before(q.ev[i]) {
+			break
+		}
+		q.ev[i], q.ev[c] = q.ev[c], q.ev[i]
+		i = c
+	}
+	return top
 }
 
 // Engine is a single-threaded discrete-event scheduler. Events scheduled for
 // the same tick run in the order they were scheduled, which keeps runs
-// deterministic.
+// deterministic. An Engine (and the Machine built around it) is confined to
+// one goroutine; the harness runs many engines in parallel, never one engine
+// from two goroutines.
 type Engine struct {
 	now   Ticks
 	seq   uint64
@@ -96,21 +140,21 @@ func (e *Engine) At(t Ticks, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+	e.queue.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d ticks from now.
 func (e *Engine) After(d Ticks, fn func()) { e.At(e.now+d, fn) }
 
 // Pending reports how many events are waiting to run.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.len() }
 
 // Step runs the next event, returning false if the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.queue.len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(event)
+	ev := e.queue.pop()
 	e.now = ev.at
 	ev.fn()
 	return true
@@ -124,7 +168,7 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with time ≤ t, then advances the clock to t.
 func (e *Engine) RunUntil(t Ticks) {
-	for len(e.queue) > 0 && e.queue[0].at <= t {
+	for e.queue.len() > 0 && e.queue.min().at <= t {
 		e.Step()
 	}
 	if e.now < t {

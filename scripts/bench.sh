@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# bench.sh — run the paper-evaluation benchmarks and record the results as
+# machine-readable JSON, starting the repo's performance trajectory.
+#
+# Usage:
+#   scripts/bench.sh                 # all benchmarks, 1 iteration each
+#   scripts/bench.sh 'BenchmarkFig7' # filter by regexp
+#   BENCHTIME=3x scripts/bench.sh    # more iterations
+#
+# Output: BENCH_<yyyymmdd>.json in the repo root, an array of
+# {"name", "iterations", "metrics": {"ns/op": ..., "allocs/op": ..., ...}}
+# objects, one per benchmark line, plus the raw text alongside it.
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+benchtime="${BENCHTIME:-1x}"
+stamp="$(date +%Y%m%d)"
+raw="BENCH_${stamp}.txt"
+out="BENCH_${stamp}.json"
+
+go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem . | tee "$raw"
+
+awk '
+/^Benchmark/ {
+    printf "%s  {\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", sep, $1, $2
+    msep = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        printf "%s\"%s\":%s", msep, $(i+1), $i
+        msep = ","
+    }
+    printf "}}"
+    sep = ",\n"
+}
+BEGIN { print "[" }
+END   { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"
