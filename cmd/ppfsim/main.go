@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"eventpf/internal/harness"
+	"eventpf/internal/trace"
 	"eventpf/internal/workloads"
 )
 
@@ -27,7 +28,9 @@ func main() {
 		ppuMHz    = flag.Int("ppu-mhz", 0, "override PPU clock in MHz (0 = default 1000)")
 		baseline  = flag.Bool("baseline", false, "also run without prefetching and report the speedup")
 		parallel  = flag.Int("parallel", 0, "with -baseline, run both simulations concurrently (0 = GOMAXPROCS, 1 = serial)")
-		trace     = flag.Int("trace", 0, "dump the last N prefetcher trace events after the run")
+		traceN    = flag.Int("trace", 0, "dump the last N prefetcher trace events after the run")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the run to this file")
+		metrics   = flag.Bool("metrics", false, "print the metrics registry (counters + queue-occupancy histograms) after the run")
 		jsonOut   = flag.Bool("json", false, "emit the full result record as JSON")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 	)
@@ -49,12 +52,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := harness.Options{Scale: *scale, PPUs: *ppus, PPUMHz: *ppuMHz, TraceLast: *trace, Parallel: *parallel}
+	opt := harness.Options{Scale: *scale, PPUs: *ppus, PPUMHz: *ppuMHz, TraceLast: *traceN, Parallel: *parallel}
+
+	var collector *trace.Collector
+	if *traceOut != "" {
+		collector = trace.NewCollector()
+		opt.TraceSink = collector
+	}
+	var reg *trace.Registry
+	if *metrics {
+		reg = trace.NewRegistry()
+		opt.Metrics = reg
+	}
 
 	var res, base harness.Result
 	var err error
 	runBaseline := *baseline && scheme != harness.NoPF
-	if runBaseline {
+	tracing := collector != nil || reg != nil
+	switch {
+	case runBaseline && !tracing:
 		// A two-pair suite overlaps the measured run with its no-prefetch
 		// baseline; results are bit-identical to two serial harness.Run
 		// calls because each simulation is deterministic.
@@ -65,7 +81,15 @@ func main() {
 				base, err = s.Run(pairs[1])
 			}
 		}
-	} else {
+	case runBaseline:
+		// Trace sinks are single-goroutine, so with tracing on the two runs
+		// go serially and only the measured run is instrumented.
+		baseOpt := opt
+		baseOpt.TraceSink, baseOpt.Metrics = nil, nil
+		if res, err = harness.Run(b, scheme, opt); err == nil {
+			base, err = harness.Run(b, harness.NoPF, baseOpt)
+		}
+	default:
 		res, err = harness.Run(b, scheme, opt)
 	}
 	if err != nil {
@@ -86,11 +110,34 @@ func main() {
 		fmt.Println("\nlast prefetcher events:")
 		res.Trace.Dump(os.Stdout)
 	}
+	if collector != nil {
+		if werr := writeChromeTrace(*traceOut, collector.Events(), harness.LayoutFor(opt, scheme)); werr != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %d simulator events exported to %s\n", len(collector.Events()), *traceOut)
+	}
+	if reg != nil {
+		fmt.Println("\nmetrics:")
+		fmt.Print(reg.Format())
+	}
 
 	if runBaseline {
 		fmt.Printf("\nno-pf cycles   %12d\nspeedup        %12.2fx\n",
 			base.Cycles, harness.Speedup(base, res))
 	}
+}
+
+func writeChromeTrace(path string, events []trace.Event, lay trace.Layout) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, events, lay); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseScheme(s string) (harness.Scheme, bool) {

@@ -1,0 +1,211 @@
+// Command ppftrace analyses a Chrome trace-event JSON exported by
+// ppfsim -trace-out: it reconstructs each tagged prefetch chain from the
+// prefetcher's generate/enqueue/issue/fill/drop instants and prints a
+// per-kernel latency breakdown of the generate→enqueue→issue→fill path.
+//
+// Usage:
+//
+//	ppfsim -bench hj8 -scheme manual -trace-out t.json
+//	ppftrace t.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// traceFile matches the subset of the Chrome trace-event format the
+// exporter writes; unknown fields are ignored.
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Args map[string]any `json:"args"`
+}
+
+// chain is one prefetch request's reconstructed lifecycle. Timestamps are
+// µs; NaN marks a stage the request never reached.
+type chain struct {
+	kernel   int
+	gen      float64
+	enq      float64
+	issue    float64
+	fill     float64
+	filled   bool
+	dropped  bool
+	dropWhy  string
+	sawStage bool // any stage beyond generate observed
+}
+
+func main() {
+	if len(os.Args) != 2 || os.Args[1] == "-h" || os.Args[1] == "--help" {
+		fmt.Fprintln(os.Stderr, "usage: ppftrace <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppftrace: %v\n", err)
+		os.Exit(1)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fmt.Fprintf(os.Stderr, "ppftrace: %s is not Chrome trace-event JSON: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+
+	chains := map[int64]*chain{}
+	get := func(args map[string]any) (int64, *chain, bool) {
+		v, ok := args["id"]
+		if !ok {
+			return 0, nil, false
+		}
+		f, ok := v.(float64)
+		if !ok {
+			return 0, nil, false
+		}
+		id := int64(f)
+		c, ok := chains[id]
+		if !ok {
+			c = &chain{kernel: -1, gen: math.NaN(), enq: math.NaN(),
+				issue: math.NaN(), fill: math.NaN()}
+			chains[id] = c
+		}
+		return id, c, true
+	}
+	num := func(args map[string]any, key string) (int, bool) {
+		if f, ok := args[key].(float64); ok {
+			return int(f), true
+		}
+		return 0, false
+	}
+
+	for _, e := range tf.TraceEvents {
+		if e.Ph != "i" || e.Args == nil {
+			continue
+		}
+		switch e.Name {
+		case "generate":
+			_, c, ok := get(e.Args)
+			if !ok {
+				continue
+			}
+			c.gen = e.Ts
+			if k, ok := num(e.Args, "kernel"); ok {
+				c.kernel = k
+			}
+		case "enqueue":
+			if _, c, ok := get(e.Args); ok {
+				c.enq, c.sawStage = e.Ts, true
+			}
+		case "issue":
+			if _, c, ok := get(e.Args); ok {
+				c.issue, c.sawStage = e.Ts, true
+			}
+		case "fill":
+			if _, c, ok := get(e.Args); ok {
+				c.fill, c.sawStage = e.Ts, true
+				if b, isB := e.Args["filled"].(bool); isB {
+					c.filled = b
+				}
+			}
+		case "drop":
+			if _, c, ok := get(e.Args); ok {
+				c.dropped, c.sawStage = true, true
+				if s, isS := e.Args["reason"].(string); isS {
+					c.dropWhy = s
+				}
+			}
+		}
+	}
+
+	type row struct {
+		kernel                           int
+		chains, fills, resident, drops   int
+		genEnq, enqIss, issFill, genFill stageMean
+		dropWhy                          map[string]int
+	}
+	rows := map[int]*row{}
+	for _, c := range chains {
+		if math.IsNaN(c.gen) {
+			continue // chain began before tracing or exporter truncation
+		}
+		r, ok := rows[c.kernel]
+		if !ok {
+			r = &row{kernel: c.kernel, dropWhy: map[string]int{}}
+			rows[c.kernel] = r
+		}
+		r.chains++
+		r.genEnq.add(c.gen, c.enq)
+		r.enqIss.add(c.enq, c.issue)
+		if c.filled {
+			r.issFill.add(c.issue, c.fill)
+			r.genFill.add(c.gen, c.fill)
+			r.fills++
+		} else if !math.IsNaN(c.fill) {
+			r.resident++
+		}
+		if c.dropped {
+			r.drops++
+			r.dropWhy[c.dropWhy]++
+		}
+	}
+
+	kernels := make([]int, 0, len(rows))
+	for k := range rows {
+		kernels = append(kernels, k)
+	}
+	sort.Ints(kernels)
+
+	fmt.Printf("%-8s %8s %8s %8s %8s %11s %11s %11s %11s\n",
+		"kernel", "chains", "fills", "resident", "drops",
+		"gen→enq", "enq→iss", "iss→fill", "gen→fill")
+	for _, k := range kernels {
+		r := rows[k]
+		fmt.Printf("%-8d %8d %8d %8d %8d %9.0fns %9.0fns %9.0fns %9.0fns\n",
+			r.kernel, r.chains, r.fills, r.resident, r.drops,
+			r.genEnq.mean(), r.enqIss.mean(), r.issFill.mean(), r.genFill.mean())
+		if r.drops > 0 {
+			reasons := make([]string, 0, len(r.dropWhy))
+			for why := range r.dropWhy {
+				reasons = append(reasons, why)
+			}
+			sort.Strings(reasons)
+			for _, why := range reasons {
+				fmt.Printf("%-8s   dropped at %s: %d\n", "", why, r.dropWhy[why])
+			}
+		}
+	}
+	if len(rows) == 0 {
+		fmt.Println("no prefetch chains in trace (was the run using the programmable prefetcher?)")
+	}
+}
+
+// stageMean accumulates the mean of (end-start) over chains that reached
+// both endpoints.
+type stageMean struct {
+	sum float64 // microseconds
+	n   int
+}
+
+func (m *stageMean) add(start, end float64) {
+	if math.IsNaN(start) || math.IsNaN(end) {
+		return
+	}
+	m.sum += end - start
+	m.n++
+}
+
+// mean returns the stage latency in nanoseconds (trace timestamps are µs).
+func (m *stageMean) mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n) * 1000
+}

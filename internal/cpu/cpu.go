@@ -7,7 +7,10 @@
 // simulating a full pipeline.
 package cpu
 
-import "eventpf/internal/sim"
+import (
+	"eventpf/internal/sim"
+	"eventpf/internal/trace"
+)
 
 // OpKind classifies a micro-op.
 type OpKind int
@@ -114,6 +117,26 @@ type Core struct {
 
 	bp    branchPredictor
 	Stats Stats
+
+	// Bus, if set, receives CoreStall/CoreStallEnd events. Emission is
+	// transition-gated (stallActive) so a stall spanning many ticks costs
+	// two events, not one per tick, and a nil bus costs one branch.
+	Bus         *trace.Bus
+	stallActive [4]bool
+}
+
+// setStall emits a CoreStall/CoreStallEnd pair boundary when the given
+// stall reason changes state; purely observational, never affects timing.
+func (c *Core) setStall(reason int32, on bool) {
+	if c.Bus == nil || c.stallActive[reason] == on {
+		return
+	}
+	c.stallActive[reason] = on
+	kind := trace.CoreStall
+	if !on {
+		kind = trace.CoreStallEnd
+	}
+	c.Bus.Emit(trace.Event{At: c.eng.Now(), Kind: kind, A: reason})
 }
 
 // New builds a core.
@@ -206,6 +229,7 @@ func (c *Core) retire(now sim.Ticks) {
 		c.rob = c.rob[1:]
 		retired++
 	}
+	c.setStall(trace.StallRetire, retired == 0 && len(c.rob) > 0 && c.rob[0].completeAt < 0)
 }
 
 func (c *Core) resolveAndIssue(now sim.Ticks) {
@@ -290,9 +314,14 @@ func (c *Core) loadComplete(id int64, at sim.Ticks) {
 }
 
 func (c *Core) dispatch(now sim.Ticks) {
-	if c.stream == nil || now < c.stallUntil || c.redirectPending {
+	if c.stream == nil {
 		return
 	}
+	if now < c.stallUntil || c.redirectPending {
+		c.setStall(trace.StallRedirect, true)
+		return
+	}
+	c.setStall(trace.StallRedirect, false)
 	for n := 0; n < c.cfg.Width; n++ {
 		if len(c.rob) >= c.cfg.ROB {
 			return
@@ -306,16 +335,20 @@ func (c *Core) dispatch(now sim.Ticks) {
 		case OpLoad:
 			if c.inflightLd >= c.cfg.LQ {
 				// No LQ entry: hold the op until one frees at retirement.
+				c.setStall(trace.StallLQ, true)
 				c.pendingOp = &op
 				return
 			}
 			c.inflightLd++
+			c.setStall(trace.StallLQ, false)
 		case OpStore:
 			if c.inflightSt >= c.cfg.SQ {
+				c.setStall(trace.StallSQ, true)
 				c.pendingOp = &op
 				return
 			}
 			c.inflightSt++
+			c.setStall(trace.StallSQ, false)
 		case OpConfig:
 			if op.Do != nil {
 				op.Do()

@@ -591,6 +591,13 @@ type ExtraMemRow struct {
 	BaseReads int64
 	PFReads   int64
 	ExtraPct  float64
+	// Chain latency of the Manual run's prefetches, in ticks: mean
+	// generation→L1-issue and generation→memory-fill delays, with resident
+	// hits (targets already in the L1) counted apart from real fills.
+	MeanIssueTicks float64
+	MeanFillTicks  float64
+	Fills          int64
+	ResidentHits   int64
 }
 
 // ExtraMem reproduces the extra-memory-access analysis.
@@ -608,22 +615,35 @@ func (s *Suite) ExtraMem() ([]ExtraMemRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, ExtraMemRow{
-			Benchmark: b.Name,
-			BaseReads: base.DRAM.Reads,
-			PFReads:   man.DRAM.Reads,
-			ExtraPct:  100 * (float64(man.DRAM.Reads)/float64(base.DRAM.Reads) - 1),
-		})
+		row := ExtraMemRow{
+			Benchmark:    b.Name,
+			BaseReads:    base.DRAM.Reads,
+			PFReads:      man.DRAM.Reads,
+			ExtraPct:     100 * (float64(man.DRAM.Reads)/float64(base.DRAM.Reads) - 1),
+			Fills:        man.PF.FillCount,
+			ResidentHits: man.PF.ResidentHits,
+		}
+		if man.PF.IssueCount > 0 {
+			row.MeanIssueTicks = float64(man.PF.IssueLatencySum) / float64(man.PF.IssueCount)
+		}
+		if man.PF.FillCount > 0 {
+			row.MeanFillTicks = float64(man.PF.FillLatencySum) / float64(man.PF.FillCount)
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-// FormatExtraMem renders the extra-traffic analysis.
+// FormatExtraMem renders the extra-traffic analysis with the prefetch-chain
+// latency breakdown (ticks; 16 ticks = 1 ns).
 func FormatExtraMem(rows []ExtraMemRow) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-10s %12s %12s %10s\n", "bench", "no-pf reads", "pf reads", "extra")
+	fmt.Fprintf(&sb, "%-10s %12s %12s %10s %11s %11s %10s %10s\n",
+		"bench", "no-pf reads", "pf reads", "extra", "gen→issue", "gen→fill", "fills", "resident")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-10s %12d %12d %9.0f%%\n", r.Benchmark, r.BaseReads, r.PFReads, r.ExtraPct)
+		fmt.Fprintf(&sb, "%-10s %12d %12d %9.0f%% %11.0f %11.0f %10d %10d\n",
+			r.Benchmark, r.BaseReads, r.PFReads, r.ExtraPct,
+			r.MeanIssueTicks, r.MeanFillTicks, r.Fills, r.ResidentHits)
 	}
 	return sb.String()
 }

@@ -12,6 +12,7 @@ import (
 	"eventpf/internal/prefetch"
 	"eventpf/internal/sim"
 	"eventpf/internal/system"
+	"eventpf/internal/trace"
 	"eventpf/internal/workloads"
 )
 
@@ -79,6 +80,14 @@ type Options struct {
 	// TraceLast, if positive, attaches a ring tracer of that size to the
 	// programmable prefetcher and returns it in Result.Trace.
 	TraceLast int
+	// TraceSink, if non-nil, is attached to the machine-wide trace bus and
+	// receives typed events from every component (core, caches, TLB, DRAM,
+	// prefetcher). The sink runs on the simulation goroutine: pass a
+	// per-run sink, never one shared across a parallel Suite.
+	TraceSink trace.Sink
+	// Metrics, if non-nil, receives the machine's counters and
+	// queue-occupancy histograms. Same confinement rule as TraceSink.
+	Metrics *trace.Registry
 	// Parallel bounds how many simulations a Suite runs concurrently;
 	// 0 means GOMAXPROCS. Run itself is always a single simulation on the
 	// calling goroutine — each Machine stays confined to one goroutine.
@@ -102,19 +111,7 @@ func Run(b *workloads.Benchmark, scheme Scheme, opt Options) (Result, error) {
 	if opt.Scale == 0 {
 		opt.Scale = 1.0
 	}
-	cfg := system.DefaultConfig()
-	if opt.Config != nil {
-		cfg = *opt.Config
-	}
-	if opt.PPUs > 0 {
-		cfg.Prefetcher.NumPPUs = opt.PPUs
-	}
-	if opt.PPUMHz > 0 {
-		cfg.Prefetcher.PPUClock = mustClock(opt.PPUMHz)
-	}
-	if scheme == ManualBlocked {
-		cfg.Prefetcher.Blocked = true
-	}
+	cfg := ConfigFor(opt, scheme)
 
 	m := system.New(cfg, machineScheme(scheme))
 	inst := b.Build(m, opt.Scale)
@@ -123,6 +120,12 @@ func Run(b *workloads.Benchmark, scheme Scheme, opt Options) (Result, error) {
 	if opt.TraceLast > 0 && m.PF != nil {
 		tracer = prefetch.NewRingTracer(opt.TraceLast)
 		m.PF.Tracer = tracer
+	}
+	if opt.TraceSink != nil {
+		m.AttachTrace(trace.NewBus(opt.TraceSink))
+	}
+	if opt.Metrics != nil {
+		m.AttachMetrics(opt.Metrics)
 	}
 
 	fn := inst.BuildFn(variantFor(scheme))
@@ -179,6 +182,42 @@ func Run(b *workloads.Benchmark, scheme Scheme, opt Options) (Result, error) {
 		return res, fmt.Errorf("%s under %s: oracle mismatch: %w", b.Name, scheme, err)
 	}
 	return res, nil
+}
+
+// ConfigFor resolves the machine configuration a Run with these options and
+// scheme would use (exported so CLIs can derive the trace Layout that
+// matches the run).
+func ConfigFor(opt Options, scheme Scheme) system.Config {
+	cfg := system.DefaultConfig()
+	if opt.Config != nil {
+		cfg = *opt.Config
+	}
+	if opt.PPUs > 0 {
+		cfg.Prefetcher.NumPPUs = opt.PPUs
+	}
+	if opt.PPUMHz > 0 {
+		cfg.Prefetcher.PPUClock = mustClock(opt.PPUMHz)
+	}
+	if scheme == ManualBlocked {
+		cfg.Prefetcher.Blocked = true
+	}
+	return cfg
+}
+
+// LayoutFor describes the traced resources of a run with these options and
+// scheme, for the Chrome exporter.
+func LayoutFor(opt Options, scheme Scheme) trace.Layout {
+	cfg := ConfigFor(opt, scheme)
+	lay := trace.Layout{
+		DRAMBanks:  cfg.DRAM.Banks,
+		L1MSHRs:    cfg.L1.MSHRs,
+		L2MSHRs:    cfg.L2.MSHRs,
+		TLBWalkers: cfg.TLB.Walks,
+	}
+	if machineScheme(scheme) == system.Programmable {
+		lay.PPUs = cfg.Prefetcher.NumPPUs
+	}
+	return lay
 }
 
 func machineScheme(s Scheme) system.Scheme {

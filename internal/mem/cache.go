@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"eventpf/internal/sim"
+	"eventpf/internal/trace"
 )
 
 // CacheConfig sizes one cache level.
@@ -64,9 +65,10 @@ type cacheLine struct {
 
 type mshrEntry struct {
 	line         uint64
-	demand       bool // at least one demand access is waiting
-	dirty        bool // a store is among the merged accesses
-	initPrefetch bool // the miss was initiated by a prefetch
+	slot         int32 // stable MSHR index for tracing, -1 when untraced
+	demand       bool  // at least one demand access is waiting
+	dirty        bool  // a store is among the merged accesses
+	initPrefetch bool  // the miss was initiated by a prefetch
 	waiters      []func(at sim.Ticks)
 	tags         []tagged // prefetch-kernel tags to fire on fill (§4.7)
 }
@@ -115,7 +117,31 @@ type Cache struct {
 	// ever being used (diagnostics).
 	OnPrefetchDead func(line uint64)
 
+	// Bus, if set, receives CacheMiss/CacheFill/CacheMSHRFull/CachePFDrop
+	// events labelled with Level. MSHR slot indices (for per-MSHR trace
+	// tracks) are assigned only while a bus is attached.
+	Bus      *trace.Bus
+	Level    int32
+	slotUsed []bool // lazily sized to cfg.MSHRs on first traced miss
+
 	Stats CacheStats
+}
+
+// takeSlot returns the lowest free MSHR slot index, or -1 when untraced.
+func (c *Cache) takeSlot() int32 {
+	if c.Bus == nil {
+		return -1
+	}
+	if c.slotUsed == nil {
+		c.slotUsed = make([]bool, c.cfg.MSHRs)
+	}
+	for i, used := range c.slotUsed {
+		if !used {
+			c.slotUsed[i] = true
+			return int32(i)
+		}
+	}
+	return -1
 }
 
 // NewCache builds a cache in the given clock domain in front of next.
@@ -258,12 +284,16 @@ func (c *Cache) miss(req *Request) {
 	if len(c.mshr) >= c.cfg.MSHRs {
 		if req.Kind == Prefetch {
 			c.Stats.PrefetchDrop++
+			c.Bus.Emit(trace.Event{At: c.eng.Now(), Kind: trace.CachePFDrop,
+				Addr: req.Line, A: c.Level, ID: int64(req.Tag)})
 			if req.Tag != NoTag && c.OnPrefetchDrop != nil {
 				c.OnPrefetchDrop(req.Line, req.Tag)
 			}
 			return
 		}
 		c.Stats.MSHRStalls++
+		c.Bus.Emit(trace.Event{At: c.eng.Now(), Kind: trace.CacheMSHRFull,
+			Addr: req.Line, A: c.Level})
 		c.pendingMiss = append(c.pendingMiss, req)
 		return
 	}
@@ -274,10 +304,17 @@ func (c *Cache) allocateMSHR(req *Request) {
 	c.Stats.Misses++
 	e := &mshrEntry{
 		line:         req.Line,
+		slot:         c.takeSlot(),
 		demand:       req.Kind != Prefetch,
 		dirty:        req.Kind == Store,
 		initPrefetch: req.Kind == Prefetch,
 	}
+	demandBit := int32(0)
+	if e.demand {
+		demandBit = 1
+	}
+	c.Bus.Emit(trace.Event{At: c.eng.Now(), Kind: trace.CacheMiss,
+		Addr: req.Line, A: c.Level, B: e.slot, C: demandBit, ID: int64(req.Line)})
 	if req.Kind == Prefetch {
 		c.Stats.PrefetchIssue++
 		if req.Tag != NoTag {
@@ -307,6 +344,11 @@ func (c *Cache) fill(e *mshrEntry) {
 	now := c.eng.Now()
 	c.insert(e)
 	delete(c.mshr, e.line)
+	c.Bus.Emit(trace.Event{At: now, Kind: trace.CacheFill,
+		Addr: e.line, A: c.Level, B: e.slot, ID: int64(e.line)})
+	if e.slot >= 0 && int(e.slot) < len(c.slotUsed) {
+		c.slotUsed[e.slot] = false
+	}
 
 	for _, w := range e.waiters {
 		w(now)

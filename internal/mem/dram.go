@@ -1,6 +1,9 @@
 package mem
 
-import "eventpf/internal/sim"
+import (
+	"eventpf/internal/sim"
+	"eventpf/internal/trace"
+)
 
 // DRAMConfig gives DDR3-style timing in bus cycles. Defaults model
 // DDR3-1600 11-11-11-28 on an 800 MHz bus, as in the paper's Table 1.
@@ -58,6 +61,10 @@ type DRAM struct {
 
 	busFreeAt sim.Ticks
 	Stats     DRAMStats
+
+	// Bus, if set, receives one DRAMAccess span per request, labelled with
+	// the bank and row state and covering the bank-busy window.
+	Bus *trace.Bus
 }
 
 type bankState struct {
@@ -95,18 +102,24 @@ func (d *DRAM) Access(req *Request) {
 	}
 
 	var access sim.Ticks
+	var rowState int32
 	switch {
 	case b.hasRow && b.openRow == row:
 		access = d.clk.Cycles(int64(d.cfg.TCAS))
 		d.Stats.RowHits++
+		rowState = trace.RowHit
 	case b.hasRow:
 		access = d.clk.Cycles(int64(d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS))
 		d.Stats.RowMisses++
+		rowState = trace.RowMiss
 	default:
 		access = d.clk.Cycles(int64(d.cfg.TRCD + d.cfg.TCAS))
 		d.Stats.RowEmpties++
+		rowState = trace.RowEmpty
 	}
 	b.openRow, b.hasRow = row, true
+	d.Bus.Emit(trace.Event{At: start, Dur: access, Kind: trace.DRAMAccess,
+		Addr: req.Line, A: int32(bi), B: rowState})
 
 	// The bank is occupied by the row operations only; controller overhead
 	// and the data burst are pipeline/bus time and overlap with other

@@ -1,6 +1,9 @@
 package mem
 
-import "eventpf/internal/sim"
+import (
+	"eventpf/internal/sim"
+	"eventpf/internal/trace"
+)
 
 // TLBConfig sizes the two-level TLB of Table 1: a 64-entry fully-associative
 // L1 and a 4096-entry 8-way L2 with an 8-cycle hit latency, backed by a
@@ -62,6 +65,37 @@ type TLB struct {
 	useClock int64
 
 	Stats TLBStats
+
+	// Bus, if set, receives one TLBWalk span per page-table walk, labelled
+	// with a stable walker slot. Slots are assigned only while tracing.
+	Bus        *trace.Bus
+	walkerBusy []bool // lazily sized to cfg.Walks on first traced walk
+
+	// mWalkDepth samples the walk-queue depth on every transition; nil
+	// unless AttachMetrics was called.
+	mWalkDepth *trace.Hist
+}
+
+// AttachMetrics registers the walk-queue occupancy histogram with reg.
+func (t *TLB) AttachMetrics(reg *trace.Registry) {
+	t.mWalkDepth = reg.Hist("tlb/walk-queue-depth", 32)
+}
+
+// takeWalker returns the lowest free walker slot index, or -1 when untraced.
+func (t *TLB) takeWalker() int32 {
+	if t.Bus == nil {
+		return -1
+	}
+	if t.walkerBusy == nil {
+		t.walkerBusy = make([]bool, t.cfg.Walks)
+	}
+	for i, busy := range t.walkerBusy {
+		if !busy {
+			t.walkerBusy[i] = true
+			return int32(i)
+		}
+	}
+	return -1
 }
 
 type tlbEntry struct {
@@ -134,9 +168,20 @@ func (t *TLB) Translate(addr uint64, done func(ok bool)) {
 	start := func() {
 		t.activeWalks++
 		t.Stats.Walks++
+		slot := t.takeWalker()
+		walkStart := t.eng.Now()
 		t.eng.After(t.clk.Cycles(t.cfg.WalkCycles), func() {
 			t.activeWalks--
 			ok := t.bk.Mapped(page)
+			okBit := int32(0)
+			if ok {
+				okBit = 1
+			}
+			t.Bus.Emit(trace.Event{At: walkStart, Dur: t.clk.Cycles(t.cfg.WalkCycles),
+				Kind: trace.TLBWalk, Addr: page, A: slot, B: okBit})
+			if slot >= 0 && int(slot) < len(t.walkerBusy) {
+				t.walkerBusy[slot] = false
+			}
 			if ok {
 				t.insertLRU(t.l1, page)
 				t.insertLRU(set, page)
@@ -150,6 +195,7 @@ func (t *TLB) Translate(addr uint64, done func(ok bool)) {
 			if len(t.walkQueue) > 0 && t.activeWalks < t.cfg.Walks {
 				next := t.walkQueue[0]
 				t.walkQueue = t.walkQueue[1:]
+				t.mWalkDepth.Observe(len(t.walkQueue))
 				next()
 			}
 			done(ok)
@@ -158,6 +204,7 @@ func (t *TLB) Translate(addr uint64, done func(ok bool)) {
 	if t.activeWalks >= t.cfg.Walks {
 		t.Stats.WalkQueue++
 		t.walkQueue = append(t.walkQueue, start)
+		t.mWalkDepth.Observe(len(t.walkQueue))
 		return
 	}
 	start()

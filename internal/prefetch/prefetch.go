@@ -14,6 +14,7 @@ import (
 	"eventpf/internal/mem"
 	"eventpf/internal/ppu"
 	"eventpf/internal/sim"
+	"eventpf/internal/trace"
 )
 
 // NoKernel marks an unset kernel slot in the filter table.
@@ -65,8 +66,10 @@ type Stats struct {
 	ICacheMisses     int64     // cold kernel starts (fetch from memory, §4.4)
 	PFGenerated      int64     // prefetch addresses produced by kernels
 	ReqDropped       int64     // request-queue overflow
-	FillLatencySum   sim.Ticks // total generation→fill delay of prefetches
-	FillCount        int64
+	FillLatencySum   sim.Ticks // total generation→fill delay of real memory fills
+	FillCount        int64     // prefetches that actually fetched from memory
+	ResidentLatSum   sim.Ticks // generation→lookup delay of already-resident targets
+	ResidentHits     int64     // prefetches whose target was already in the L1
 	QueueDepthSum    int64     // request-queue depth observed at each enqueue
 	PumpBusy         int64     // pump entered while a translation was in flight
 	PumpGated        int64     // pump blocked by the MSHR-headroom gate
@@ -118,6 +121,15 @@ type Prefetcher struct {
 
 	// Tracer, if set, receives lifecycle events (see trace.go).
 	Tracer Tracer
+	// Bus, if set, receives the same lifecycle events as machine-wide
+	// trace.Event values; nil (the default) costs one branch per event.
+	Bus *trace.Bus
+
+	// Queue-occupancy histograms, sampled on every enqueue AND dequeue so
+	// the distribution covers the queue's whole life; nil unless
+	// AttachMetrics was called.
+	mObsDepth *trace.Hist
+	mReqDepth *trace.Hist
 
 	kernels map[int][]ppu.Instr
 	warmed  map[int]bool // kernels already in the shared instruction cache
@@ -162,9 +174,17 @@ func New(eng *sim.Engine, cfg Config, bk *mem.Backing, l1 *mem.Cache, tlb *mem.T
 	l1.OnMSHRFree = p.pump
 	l1.OnPrefetchDrop = func(_ uint64, tag int) {
 		p.Stats.MSHRDrops++
-		p.dropPending(tag)
+		p.dropPending(tag, trace.DropMSHR)
 	}
 	return p
+}
+
+// AttachMetrics registers the prefetcher's queue-occupancy histograms with
+// reg. Depths are observed on every transition (enqueue and dequeue), not
+// just at arrival instants.
+func (p *Prefetcher) AttachMetrics(reg *trace.Registry) {
+	p.mObsDepth = reg.Hist("pf/obs-queue-depth", p.cfg.ObsQueue)
+	p.mReqDepth = reg.Hist("pf/req-queue-depth", p.cfg.ReqQueue)
 }
 
 // RegisterKernel installs a PPU kernel under an id; configuration
@@ -202,7 +222,7 @@ func (p *Prefetcher) Global(idx int) uint64 { return p.globals[idx] }
 // the filter table and global registers survive.
 func (p *Prefetcher) Flush() {
 	p.Stats.Flushes++
-	p.trace(TraceFlush, 0, -1, -1)
+	p.emit(trace.Event{Kind: trace.PFFlush, A: -1, C: -1})
 	p.obsQueue = p.obsQueue[:0]
 	p.reqQueue = p.reqQueue[:0]
 	now := p.eng.Now()
@@ -261,9 +281,22 @@ func (p *Prefetcher) onPrefetchFill(line uint64, tag int, _ sim.Ticks, filled bo
 	delete(p.pending, tag)
 	now := p.eng.Now()
 	p.Stats.FillObservations++
-	p.trace(TraceFill, pend.addr, pend.chain, -1)
-	p.Stats.FillLatencySum += now - pend.createdAt
-	p.Stats.FillCount++
+	filledBit := int32(0)
+	if filled {
+		filledBit = 1
+	}
+	p.emit(trace.Event{Kind: trace.PFFill, Addr: pend.addr, ID: int64(tag),
+		A: int32(pend.chain), B: filledBit, C: -1})
+	// Resident hits return in the cache's lookup latency and say nothing
+	// about memory; mixing them into the fill mean hides how slow real
+	// fills are, so the two populations are counted apart.
+	if filled {
+		p.Stats.FillLatencySum += now - pend.createdAt
+		p.Stats.FillCount++
+	} else {
+		p.Stats.ResidentLatSum += now - pend.createdAt
+		p.Stats.ResidentHits++
+	}
 
 	kernel := pend.chain
 	ewmaEnd := -1
@@ -309,15 +342,18 @@ func (p *Prefetcher) onPrefetchFill(line uint64, tag int, _ sim.Ticks, filled bo
 }
 
 func (p *Prefetcher) enqueueObs(o observation) {
-	p.trace(TraceObserve, o.addr, o.kernel, -1)
+	p.emit(trace.Event{Kind: trace.PFObserve, Addr: o.addr, A: int32(o.kernel), C: -1})
 	if len(p.obsQueue) >= p.cfg.ObsQueue {
 		// Prefetches are only hints: drop the oldest observation (§4.3).
 		p.Stats.ObsDropped++
-		p.trace(TraceObsDrop, p.obsQueue[0].addr, p.obsQueue[0].kernel, -1)
+		p.emit(trace.Event{Kind: trace.PFObsDrop, Addr: p.obsQueue[0].addr,
+			A: int32(p.obsQueue[0].kernel), C: -1})
 		copy(p.obsQueue, p.obsQueue[1:])
 		p.obsQueue = p.obsQueue[:len(p.obsQueue)-1]
+		p.mObsDepth.Observe(len(p.obsQueue))
 	}
 	p.obsQueue = append(p.obsQueue, o)
+	p.mObsDepth.Observe(len(p.obsQueue))
 	p.schedule()
 }
 
@@ -337,6 +373,7 @@ func (p *Prefetcher) schedule() {
 		o := p.obsQueue[0]
 		copy(p.obsQueue, p.obsQueue[1:])
 		p.obsQueue = p.obsQueue[:len(p.obsQueue)-1]
+		p.mObsDepth.Observe(len(p.obsQueue))
 		p.startKernel(id, o.kernel, o.addr, o.timedAt, o.ewma)
 	}
 }
@@ -369,10 +406,10 @@ func (p *Prefetcher) startKernel(id int, kernel int, addr uint64, timedAt sim.Ti
 		Lookahead: p.lookahead,
 	}
 	vm := ppu.NewVM(prog, env)
-	env.EmitPF = p.emitFunc(id, start, timedAt, ewma)
+	env.EmitPF = p.emitFunc(id, kernel, start, timedAt, ewma)
 
 	p.Stats.KernelRuns++
-	p.trace(TraceKernel, addr, kernel, id)
+	p.emit(trace.Event{Kind: trace.PFKernel, Addr: addr, A: int32(kernel), C: int32(id)})
 	status := vm.Run()
 	if vm.Faulted() {
 		p.Stats.KernelFaults++
@@ -385,12 +422,11 @@ func (p *Prefetcher) startKernel(id int, kernel int, addr uint64, timedAt sim.Ti
 	p.finishUnit(id, start+p.cfg.PPUClock.Cycles(vm.Cycles()))
 }
 
-// emitFunc builds the EmitPF callback for a kernel invocation started at
-// tick start on unit id.
-func (p *Prefetcher) emitFunc(id int, start sim.Ticks, timedAt sim.Ticks, ewma int) func(uint64, int, int64) bool {
+// emitFunc builds the EmitPF callback for an invocation of kernel started
+// at tick start on unit id.
+func (p *Prefetcher) emitFunc(id, kernel int, start sim.Ticks, timedAt sim.Ticks, ewma int) func(uint64, int, int64) bool {
 	return func(addr uint64, tag int, cycle int64) bool {
 		p.Stats.PFGenerated++
-		p.trace(TraceGenerate, addr, tag, id)
 		at := start + p.cfg.PPUClock.Cycles(cycle)
 		if at < p.eng.Now() {
 			at = p.eng.Now()
@@ -401,6 +437,8 @@ func (p *Prefetcher) emitFunc(id int, start sim.Ticks, timedAt sim.Ticks, ewma i
 		}
 		obsID := p.nextObs
 		p.nextObs++
+		p.emit(trace.Event{Kind: trace.PFGenerate, Addr: addr, ID: int64(obsID),
+			A: int32(kernel), B: int32(tag), C: int32(id)})
 		pend := &pendingPF{addr: addr, chain: chain, timedAt: timedAt, ewma: ewma, blockedPPU: -1, createdAt: p.eng.Now()}
 		block := p.cfg.Blocked && chain != NoKernel
 		if block {
@@ -415,11 +453,14 @@ func (p *Prefetcher) emitFunc(id int, start sim.Ticks, timedAt sim.Ticks, ewma i
 func (p *Prefetcher) enqueueReq(r request) {
 	if len(p.reqQueue) >= p.cfg.ReqQueue {
 		p.Stats.ReqDropped++
-		p.dropPending(r.obsID)
+		p.dropPending(r.obsID, trace.DropQueue)
 		return
 	}
 	p.Stats.QueueDepthSum += int64(len(p.reqQueue))
 	p.reqQueue = append(p.reqQueue, r)
+	p.mReqDepth.Observe(len(p.reqQueue))
+	p.emit(trace.Event{Kind: trace.PFEnqueue, Addr: r.addr, ID: int64(r.obsID),
+		A: int32(len(p.reqQueue)), C: -1})
 	p.pump()
 }
 
@@ -433,8 +474,13 @@ const mshrHeadroom = 2
 const pumpWays = 4
 
 // pump drains the request queue into free L1 MSHRs, translating via the
-// shared TLB (§4.6). One translation is in flight at a time; lookups
-// already racing through the cache pipeline count against the free MSHRs.
+// shared TLB (§4.6). Up to pumpWays translations overlap in the pipelined
+// TLB, and every MSHR-free callback (l1.OnMSHRFree) restarts the drain, so
+// requests leave the queue as fast as translation bandwidth and MSHR
+// availability allow — there is no per-request serialisation. Lookups
+// already racing through the cache pipeline (inFlight) count against the
+// free MSHRs so the headroom gate cannot be overrun by requests whose MSHR
+// claim has not landed yet.
 func (p *Prefetcher) pump() {
 	if len(p.reqQueue) == 0 {
 		return
@@ -451,20 +497,20 @@ func (p *Prefetcher) pump() {
 	r := p.reqQueue[0]
 	copy(p.reqQueue, p.reqQueue[1:])
 	p.reqQueue = p.reqQueue[:len(p.reqQueue)-1]
+	p.mReqDepth.Observe(len(p.reqQueue))
 
 	p.tlb.Translate(r.addr, func(ok bool) {
 		p.pumping--
 		if !ok {
 			// Page-table miss: discard rather than fault (§5.3).
 			p.Stats.TLBDrops++
-			p.trace(TraceDrop, r.addr, -1, -1)
-			p.dropPending(r.obsID)
+			p.dropPending(r.obsID, trace.DropTLB)
 		} else if p.l1.FreeMSHRs()-p.inFlight <= 0 {
 			p.Stats.MSHRDrops++
-			p.dropPending(r.obsID)
+			p.dropPending(r.obsID, trace.DropMSHR)
 		} else {
 			p.Stats.Issued++
-			p.trace(TraceIssue, r.addr, -1, -1)
+			p.emit(trace.Event{Kind: trace.PFIssue, Addr: r.addr, ID: int64(r.obsID), C: -1})
 			pend := p.pending[r.obsID]
 			var timed sim.Ticks = -1
 			if pend != nil {
@@ -492,12 +538,14 @@ func (p *Prefetcher) pump() {
 
 // dropPending abandons a pending tagged request; in blocked mode the
 // suspended PPU must be resumed or it would wait forever.
-func (p *Prefetcher) dropPending(obsID int) {
+func (p *Prefetcher) dropPending(obsID int, reason int32) {
 	pend, ok := p.pending[obsID]
 	if !ok {
 		return
 	}
 	delete(p.pending, obsID)
+	p.emit(trace.Event{Kind: trace.PFDrop, Addr: pend.addr, ID: int64(obsID),
+		A: reason, C: -1})
 	if pend.blockedPPU >= 0 {
 		p.resumeBlocked(pend.blockedPPU, NoKernel, 0, -1, -1)
 	}
@@ -520,24 +568,35 @@ func (p *Prefetcher) resumeBlocked(id int, kernel int, addr uint64, timedAt sim.
 				Lookahead: p.lookahead,
 			}
 			vm := ppu.NewVM(prog, env)
-			env.EmitPF = p.emitFunc(id, start, timedAt, ewma)
+			env.EmitPF = p.emitFunc(id, kernel, start, timedAt, ewma)
 			p.Stats.KernelRuns++
-			if vm.Run() == ppu.Blocked {
+			p.emit(trace.Event{Kind: trace.PFKernel, Addr: addr, A: int32(kernel), C: int32(id)})
+			status := vm.Run()
+			start += p.cfg.PPUClock.Cycles(vm.Cycles())
+			if status == ppu.Blocked {
 				u.stack = append(u.stack, vm)
 				return
 			}
 			if vm.Faulted() {
 				p.Stats.KernelFaults++
 			}
-			start += p.cfg.PPUClock.Cycles(vm.Cycles())
 		}
 	}
+	// Resumed VMs burn PPU cycles too: charge each one's delta (Cycles() is
+	// cumulative across resumes) into the unit's finish time, and a resumed
+	// kernel can fault just like a fresh one.
 	for len(u.stack) > 0 {
 		vm := u.stack[len(u.stack)-1]
 		u.stack = u.stack[:len(u.stack)-1]
-		if vm.Run() == ppu.Blocked {
+		before := vm.Cycles()
+		status := vm.Run()
+		start += p.cfg.PPUClock.Cycles(vm.Cycles() - before)
+		if status == ppu.Blocked {
 			u.stack = append(u.stack, vm)
 			return
+		}
+		if vm.Faulted() {
+			p.Stats.KernelFaults++
 		}
 	}
 	p.finishUnit(id, start)
@@ -552,6 +611,7 @@ func (p *Prefetcher) finishUnit(id int, at sim.Ticks) {
 		u := &p.units[id]
 		u.busy = false
 		u.busyTicks += at - u.busyStart
+		p.emit(trace.Event{Kind: trace.PFUnitFree, A: -1, C: int32(id)})
 		p.schedule()
 	})
 }

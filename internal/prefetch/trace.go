@@ -1,98 +1,47 @@
 package prefetch
 
-import (
-	"fmt"
-	"io"
+import "eventpf/internal/trace"
 
-	"eventpf/internal/sim"
+// The prefetcher-only tracer grew into the simulator-wide bus in
+// internal/trace; these aliases keep the original prefetch-package
+// vocabulary working for existing callers. New code should attach a sink to
+// the machine-wide trace.Bus instead of setting Prefetcher.Tracer.
+type (
+	// TraceKind classifies prefetcher lifecycle events.
+	TraceKind = trace.Kind
+	// TraceEvent is one prefetcher lifecycle event.
+	TraceEvent = trace.Event
+	// Tracer receives prefetcher events; implementations must be cheap, as
+	// they run inline with the simulation.
+	Tracer = trace.Sink
+	// RingTracer keeps the most recent N events.
+	RingTracer = trace.Ring
 )
 
-// TraceKind classifies prefetcher trace events.
-type TraceKind int
-
-// Trace event kinds, in rough lifecycle order.
+// Prefetcher lifecycle event kinds, in rough order.
 const (
-	TraceObserve  TraceKind = iota // load/fill observation accepted
-	TraceObsDrop                   // observation queue overflow
-	TraceKernel                    // kernel started on a PPU
-	TraceGenerate                  // kernel emitted a prefetch address
-	TraceIssue                     // request issued into the L1
-	TraceFill                      // prefetched data arrived (or was resident)
-	TraceDrop                      // request dropped (queue/TLB/MSHR)
-	TraceFlush                     // context-switch flush
+	TraceObserve  = trace.PFObserve
+	TraceObsDrop  = trace.PFObsDrop
+	TraceKernel   = trace.PFKernel
+	TraceGenerate = trace.PFGenerate
+	TraceIssue    = trace.PFIssue
+	TraceFill     = trace.PFFill
+	TraceDrop     = trace.PFDrop
+	TraceFlush    = trace.PFFlush
 )
-
-var traceKindNames = map[TraceKind]string{
-	TraceObserve: "observe", TraceObsDrop: "obs-drop", TraceKernel: "kernel",
-	TraceGenerate: "generate", TraceIssue: "issue", TraceFill: "fill",
-	TraceDrop: "drop", TraceFlush: "flush",
-}
-
-func (k TraceKind) String() string { return traceKindNames[k] }
-
-// TraceEvent is one prefetcher lifecycle event.
-type TraceEvent struct {
-	At     sim.Ticks
-	Kind   TraceKind
-	Addr   uint64
-	Kernel int // kernel id, -1 when not applicable
-	PPU    int // unit id, -1 when not applicable
-}
-
-func (e TraceEvent) String() string {
-	return fmt.Sprintf("%12d %-9s addr=%#x kernel=%d ppu=%d",
-		e.At, e.Kind, e.Addr, e.Kernel, e.PPU)
-}
-
-// Tracer receives prefetcher events; implementations must be cheap, as they
-// run inline with the simulation.
-type Tracer interface {
-	Event(TraceEvent)
-}
-
-// RingTracer keeps the most recent N events — the usual way to look at "what
-// was the prefetcher doing just before things went wrong".
-type RingTracer struct {
-	buf  []TraceEvent
-	next int
-	full bool
-}
 
 // NewRingTracer creates a tracer holding the last n events.
-func NewRingTracer(n int) *RingTracer { return &RingTracer{buf: make([]TraceEvent, n)} }
+func NewRingTracer(n int) *RingTracer { return trace.NewRing(n) }
 
-// Event implements Tracer.
-func (r *RingTracer) Event(e TraceEvent) {
-	r.buf[r.next] = e
-	r.next++
-	if r.next == len(r.buf) {
-		r.next = 0
-		r.full = true
-	}
-}
-
-// Events returns the retained events, oldest first.
-func (r *RingTracer) Events() []TraceEvent {
-	if !r.full {
-		return append([]TraceEvent(nil), r.buf[:r.next]...)
-	}
-	out := make([]TraceEvent, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	out = append(out, r.buf[:r.next]...)
-	return out
-}
-
-// Dump writes the retained events to w.
-func (r *RingTracer) Dump(w io.Writer) {
-	for _, e := range r.Events() {
-		fmt.Fprintln(w, e)
-	}
-}
-
-// trace is the internal emission helper; a nil tracer costs one branch.
-func (p *Prefetcher) trace(kind TraceKind, addr uint64, kernel, unit int) {
-	if p.Tracer == nil {
+// emit stamps e with the current time and delivers it to the legacy Tracer
+// and the machine-wide bus; free when neither is attached.
+func (p *Prefetcher) emit(e trace.Event) {
+	if p.Tracer == nil && p.Bus == nil {
 		return
 	}
-	p.Tracer.Event(TraceEvent{At: p.eng.Now(), Kind: kind, Addr: addr, Kernel: kernel, PPU: unit})
+	e.At = p.eng.Now()
+	if p.Tracer != nil {
+		p.Tracer.Event(e)
+	}
+	p.Bus.Emit(e)
 }

@@ -16,6 +16,7 @@ import (
 	"eventpf/internal/ppu"
 	"eventpf/internal/prefetch"
 	"eventpf/internal/sim"
+	"eventpf/internal/trace"
 )
 
 // Scheme selects which hardware prefetcher (if any) the machine carries.
@@ -181,6 +182,45 @@ func New(cfg Config, scheme Scheme) *Machine {
 		MispredictPenalty: cfg.MispredictPenalty,
 	}, ports)
 	return m
+}
+
+// AttachTrace points every timed component at bus. Call before Run; the
+// machine must be used from a single goroutine while a bus is attached
+// (sinks are not synchronised). With no bus attached, event emission costs
+// one branch per site.
+func (m *Machine) AttachTrace(bus *trace.Bus) {
+	m.L1.Bus, m.L1.Level = bus, 1
+	m.L2.Bus, m.L2.Level = bus, 2
+	m.DRAM.Bus = bus
+	m.TLB.Bus = bus
+	m.Core.Bus = bus
+	if m.PF != nil {
+		m.PF.Bus = bus
+	}
+}
+
+// AttachMetrics registers the machine's queue-occupancy histograms
+// (observation, request and walk queues) with reg. Call before Run.
+func (m *Machine) AttachMetrics(reg *trace.Registry) {
+	m.TLB.AttachMetrics(reg)
+	if m.PF != nil {
+		m.PF.AttachMetrics(reg)
+	}
+}
+
+// TraceLayout describes the machine's traced resources for the Chrome
+// exporter: one track per PPU, DRAM bank, MSHR and TLB walker.
+func (m *Machine) TraceLayout() trace.Layout {
+	lay := trace.Layout{
+		DRAMBanks:  m.Cfg.DRAM.Banks,
+		L1MSHRs:    m.Cfg.L1.MSHRs,
+		L2MSHRs:    m.Cfg.L2.MSHRs,
+		TLBWalkers: m.Cfg.TLB.Walks,
+	}
+	if m.PF != nil {
+		lay.PPUs = m.Cfg.Prefetcher.NumPPUs
+	}
+	return lay
 }
 
 // RegisterKernel installs a PPU kernel (no-op on machines without the

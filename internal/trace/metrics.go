@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry holds named counters and occupancy histograms for one simulated
+// machine. Like the Bus it is single-goroutine (one registry per Machine)
+// and free when absent: Counter and Hist methods are nil-safe, so
+// components hold possibly-nil handles and update unconditionally.
+type Registry struct {
+	counters []*Counter
+	hists    []*Hist
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter is a monotonically increasing named count.
+type Counter struct {
+	Name string
+	N    int64
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	for _, c := range r.counters {
+		if c.Name == name {
+			return c
+		}
+	}
+	c := &Counter{Name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Add increments the counter; nil-safe.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.N += d
+	}
+}
+
+// Inc adds one; nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Hist is an occupancy histogram over the integer range [0, max]: bucket i
+// counts samples of value i, with values above max clamped into the last
+// bucket. Queue depths are sampled on every transition (enqueue AND
+// dequeue), so the distribution reflects how full the queue was across its
+// whole life, not just at arrival instants.
+type Hist struct {
+	Name    string
+	Buckets []int64
+	N       int64
+	Sum     int64
+	Clamped int64 // samples above max, folded into the last bucket
+}
+
+// Hist returns the histogram with the given name, creating it with range
+// [0, max] if needed.
+func (r *Registry) Hist(name string, max int) *Hist {
+	for _, h := range r.hists {
+		if h.Name == name {
+			return h
+		}
+	}
+	if max < 1 {
+		max = 1
+	}
+	h := &Hist{Name: name, Buckets: make([]int64, max+1)}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Observe records one sample; nil-safe and allocation-free.
+func (h *Hist) Observe(v int) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.Buckets) {
+		v = len(h.Buckets) - 1
+		h.Clamped++
+	}
+	h.Buckets[v]++
+	h.N++
+	h.Sum += int64(v)
+}
+
+// Mean returns the average observed value.
+func (h *Hist) Mean() float64 {
+	if h == nil || h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Quantile returns the smallest value v such that at least q of the samples
+// are ≤ v (q in [0,1]).
+func (h *Hist) Quantile(q float64) int {
+	if h == nil || h.N == 0 {
+		return 0
+	}
+	want := int64(q * float64(h.N))
+	if want < 1 {
+		want = 1
+	}
+	var seen int64
+	for v, n := range h.Buckets {
+		seen += n
+		if seen >= want {
+			return v
+		}
+	}
+	return len(h.Buckets) - 1
+}
+
+// Max returns the largest observed value.
+func (h *Hist) Max() int {
+	if h == nil {
+		return 0
+	}
+	for v := len(h.Buckets) - 1; v >= 0; v-- {
+		if h.Buckets[v] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Format renders the registry as an aligned text report, counters first,
+// then one summary line per histogram, both sorted by name.
+func (r *Registry) Format() string {
+	var sb strings.Builder
+	names := func(n int, name func(int) string) []int {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return name(idx[a]) < name(idx[b]) })
+		return idx
+	}
+	for _, i := range names(len(r.counters), func(i int) string { return r.counters[i].Name }) {
+		c := r.counters[i]
+		fmt.Fprintf(&sb, "%-28s %12d\n", c.Name, c.N)
+	}
+	for _, i := range names(len(r.hists), func(i int) string { return r.hists[i].Name }) {
+		h := r.hists[i]
+		fmt.Fprintf(&sb, "%-28s n=%-10d mean=%-8.2f p50=%-4d p99=%-4d max=%-4d\n",
+			h.Name, h.N, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+	}
+	return sb.String()
+}

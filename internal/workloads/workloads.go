@@ -9,6 +9,7 @@ package workloads
 
 import (
 	"fmt"
+	"strings"
 
 	"eventpf/internal/ir"
 	"eventpf/internal/system"
@@ -91,10 +92,17 @@ var All = []*Benchmark{
 	ConjGrad,
 }
 
-// ByName finds a benchmark by its Table 2 name.
+// ByName finds a benchmark by its Table 2 name. Matching ignores case and
+// punctuation, so "hj8" and "g500csr" resolve to "HJ-8" and "G500-CSR".
 func ByName(name string) (*Benchmark, bool) {
+	fold := func(s string) string {
+		s = strings.ToLower(s)
+		s = strings.ReplaceAll(s, "-", "")
+		return strings.ReplaceAll(s, "_", "")
+	}
+	want := fold(name)
 	for _, b := range All {
-		if b.Name == name {
+		if fold(b.Name) == want {
 			return b, true
 		}
 	}
