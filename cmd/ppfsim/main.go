@@ -9,10 +9,11 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"eventpf/internal/harness"
 	"eventpf/internal/trace"
@@ -41,14 +42,15 @@ func main() {
 		return
 	}
 
-	b, ok := workloads.ByName(*benchName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ppfsim: unknown benchmark %q; use -list\n", *benchName)
+	b, err := workloads.ByName(*benchName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
 		os.Exit(2)
 	}
-	scheme, ok := parseScheme(*schemeStr)
+	scheme, ok := harness.ParseScheme(*schemeStr)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "ppfsim: unknown scheme %q\n", *schemeStr)
+		fmt.Fprintf(os.Stderr, "ppfsim: unknown scheme %q; valid: %s\n",
+			*schemeStr, strings.Join(harness.SchemeNames(), " "))
 		os.Exit(2)
 	}
 
@@ -66,29 +68,28 @@ func main() {
 	}
 
 	var res, base harness.Result
-	var err error
 	runBaseline := *baseline && scheme != harness.NoPF
-	tracing := collector != nil || reg != nil
 	switch {
-	case runBaseline && !tracing:
+	case runBaseline:
 		// A two-pair suite overlaps the measured run with its no-prefetch
 		// baseline; results are bit-identical to two serial harness.Run
-		// calls because each simulation is deterministic.
-		s := harness.NewSuite(opt)
-		pairs := []harness.Pair{{Bench: b, Scheme: scheme}, {Bench: b, Scheme: harness.NoPF}}
-		if err = s.Prefetch(pairs); err == nil {
-			if res, err = s.Run(pairs[0]); err == nil {
-				base, err = s.Run(pairs[1])
-			}
+		// calls because each simulation is deterministic. Instrumentation
+		// attaches only to the measured run (RunInstrumented hooks fire on
+		// the goroutine that simulates that pair), and the sink is wrapped
+		// in trace.Locked so sharing it wider would also be safe — no more
+		// serial fallback when tracing is on.
+		instOpt := opt
+		instOpt.TraceSink, instOpt.Metrics = nil, nil
+		s := harness.NewSuite(instOpt)
+		measured := harness.Pair{Bench: b, Scheme: scheme}
+		inst := &harness.Instrument{Metrics: reg}
+		if collector != nil {
+			inst.Sink = trace.Locked(collector)
 		}
-	case runBaseline:
-		// Trace sinks are single-goroutine, so with tracing on the two runs
-		// go serially and only the measured run is instrumented.
-		baseOpt := opt
-		baseOpt.TraceSink, baseOpt.Metrics = nil, nil
-		if res, err = harness.Run(b, scheme, opt); err == nil {
-			base, err = harness.Run(b, harness.NoPF, baseOpt)
-		}
+		err = forBoth(
+			func() error { var e error; res, e = s.RunInstrumented(context.Background(), measured, inst); return e },
+			func() error { var e error; base, e = s.Run(harness.Pair{Bench: b, Scheme: harness.NoPF}); return e },
+		)
 	default:
 		res, err = harness.Run(b, scheme, opt)
 	}
@@ -97,9 +98,9 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
+		// EncodeResult is the canonical encoding ppfserve caches; using it
+		// here keeps the CLI and the daemon byte-identical for one config.
+		if err := harness.EncodeResult(os.Stdout, res); err != nil {
 			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -140,17 +141,16 @@ func writeChromeTrace(path string, events []trace.Event, lay trace.Layout) error
 	return f.Close()
 }
 
-func parseScheme(s string) (harness.Scheme, bool) {
-	for _, sch := range []harness.Scheme{
-		harness.NoPF, harness.Stride, harness.GHBRegular, harness.GHBLarge,
-		harness.Software, harness.Pragma, harness.Converted, harness.Manual,
-		harness.ManualBlocked,
-	} {
-		if sch.String() == s {
-			return sch, true
-		}
+// forBoth runs the two closures concurrently and returns the first error,
+// preferring a's (the measured run) so error messages stay deterministic.
+func forBoth(a, b func() error) error {
+	errA := make(chan error, 1)
+	go func() { errA <- a() }()
+	errB := b()
+	if err := <-errA; err != nil {
+		return err
 	}
-	return 0, false
+	return errB
 }
 
 func printResult(r harness.Result) {

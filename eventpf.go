@@ -59,7 +59,10 @@ type Benchmark = workloads.Benchmark
 func Benchmarks() []*Benchmark { return workloads.All }
 
 // BenchmarkByName finds a Table 2 benchmark ("G500-CSR", "HJ-8", …).
-func BenchmarkByName(name string) (*Benchmark, bool) { return workloads.ByName(name) }
+func BenchmarkByName(name string) (*Benchmark, bool) {
+	b, err := workloads.ByName(name)
+	return b, err == nil
+}
 
 // Run executes one benchmark under one scheme, validating the computation
 // against the benchmark's oracle.

@@ -17,9 +17,9 @@ func TestDiagnose(t *testing.T) {
 	}
 	scale := 0.1
 	fmt.Sscanf(os.Getenv("DIAG_SCALE"), "%f", &scale)
-	b, ok := workloads.ByName(name)
-	if !ok {
-		t.Fatalf("unknown benchmark %q", name)
+	b, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
 	}
 	base, err := Run(b, NoPF, Options{Scale: scale})
 	if err != nil {

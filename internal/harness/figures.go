@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,8 +9,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"eventpf/internal/system"
+	"eventpf/internal/trace"
 	"eventpf/internal/workloads"
 )
 
@@ -26,6 +29,13 @@ type Suite struct {
 	mu    sync.Mutex
 	cache map[string]*suiteCall
 	sem   chan struct{} // worker pool: one token per concurrent simulation
+
+	// memoHits/memoMisses count Key lookups that joined an existing entry
+	// (finished or in flight) versus ones that started a simulation. They
+	// are atomics so the serving layer's /metrics scrape can read them
+	// without taking the suite lock.
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
 }
 
 // suiteCall is one memoised (possibly in-flight) measurement.
@@ -50,29 +60,48 @@ func NewSuite(opt Options) *Suite {
 }
 
 // Pair names one memoisable measurement: a benchmark×scheme pair, with the
-// optional PPU-sizing overrides the Figure 9 sweeps use (0 = suite default).
+// optional PPU-sizing overrides the Figure 9 sweeps use and the per-job
+// scale override the serving layer uses (0 = suite default).
 type Pair struct {
 	Bench  *workloads.Benchmark
 	Scheme Scheme
 	PPUs   int
 	PPUMHz int
+	Scale  float64
 }
 
-// key folds the overrides down to their effective values so that, e.g., the
-// Figure 9(a) 1000 MHz point and the default Manual run share one
+// Key folds the pair's overrides down to their effective values so that,
+// e.g., the Figure 9(a) 1000 MHz point and the default Manual run share one
 // simulation, and schemes that never touch a PPU collapse onto one entry
-// regardless of requested sizing.
-func (s *Suite) key(p Pair) string {
-	ppus, mhz := p.PPUs, p.PPUMHz
+// regardless of requested sizing. Two pairs with equal keys are guaranteed
+// to simulate identically under this suite; the serving layer's
+// content-addressed cache hashes the same folded values (JobSpec.Key).
+func (s *Suite) Key(p Pair) string {
+	ppus, mhz := foldSizing(p.Scheme, p.PPUs, p.PPUMHz, s.Opt)
+	scale := p.Scale
+	if scale == 0 {
+		scale = s.Opt.Scale
+	}
+	if scale == 0 {
+		scale = 1.0
+	}
+	return fmt.Sprintf("%s/%s/p%d/f%d/s%g", p.Bench.Name, p.Scheme, ppus, mhz, scale)
+}
+
+// foldSizing resolves requested PPU sizing against the option defaults:
+// explicit values win, then option-level overrides, then the machine
+// configuration; schemes without a programmable prefetcher fold to zero
+// because sizing cannot affect them.
+func foldSizing(scheme Scheme, ppus, mhz int, opt Options) (int, int) {
 	if ppus == 0 {
-		ppus = s.Opt.PPUs
+		ppus = opt.PPUs
 	}
 	if mhz == 0 {
-		mhz = s.Opt.PPUMHz
+		mhz = opt.PPUMHz
 	}
-	switch p.Scheme {
+	switch scheme {
 	case Pragma, Converted, Manual, ManualBlocked:
-		cfg := optConfig(s.Opt)
+		cfg := optConfig(opt)
 		if ppus == 0 {
 			ppus = cfg.Prefetcher.NumPPUs
 		}
@@ -82,7 +111,24 @@ func (s *Suite) key(p Pair) string {
 	default: // no programmable prefetcher: sizing cannot affect the run
 		ppus, mhz = 0, 0
 	}
-	return fmt.Sprintf("%s/%s/p%d/f%d", p.Bench.Name, p.Scheme, ppus, mhz)
+	return ppus, mhz
+}
+
+// MemoStats reports how many pair lookups joined an existing memo entry
+// (hits) versus started a new simulation (misses). Safe to call while the
+// suite is running.
+func (s *Suite) MemoStats() (hits, misses int64) {
+	return s.memoHits.Load(), s.memoMisses.Load()
+}
+
+// FillMetrics exports the memo counters into a metrics registry under
+// "suite.memo.hits"/"suite.memo.misses" (set, not added, so repeated fills
+// of one registry stay idempotent). The serving layer's cache-hit-ratio
+// metrics build on these.
+func (s *Suite) FillMetrics(reg *trace.Registry) {
+	hits, misses := s.MemoStats()
+	reg.Counter("suite.memo.hits").N = hits
+	reg.Counter("suite.memo.misses").N = misses
 }
 
 func (s *Suite) run(b *workloads.Benchmark, sch Scheme) (Result, error) {
@@ -94,30 +140,95 @@ func (s *Suite) run(b *workloads.Benchmark, sch Scheme) (Result, error) {
 // Prefetch them first so the simulations overlap.
 func (s *Suite) Run(p Pair) (Result, error) { return s.runPair(p) }
 
-// runPair returns the memoised measurement for p, running it if needed. The
-// first caller for a key executes the simulation (holding a worker-pool
-// token); later callers block on the same entry without consuming a worker,
-// so a full fan-out can never deadlock the pool.
+// RunCtx is Run with cancellation: a caller that stops waiting (queued job
+// cancelled, client disconnected) returns ctx.Err() without consuming a
+// worker. Once a simulation has started it always runs to completion — a
+// cancelled waiter never poisons the memo entry other callers share.
+func (s *Suite) RunCtx(ctx context.Context, p Pair) (Result, error) {
+	return s.runPairCtx(ctx, p, nil)
+}
+
+// Instrument attaches per-run observers to a memoised measurement. The
+// hooks fire only when this call actually executes the simulation: a memo
+// hit returns the shared result untouched, so the sink and registry stay
+// confined to the one goroutine that simulates.
+type Instrument struct {
+	// Sink receives the run's machine-wide trace events (progress feeds).
+	Sink trace.Sink
+	// Metrics receives the run's counters and queue-occupancy histograms.
+	Metrics *trace.Registry
+	// Started, if non-nil, is called on the simulating goroutine just
+	// before the simulation begins (job state transitions).
+	Started func()
+}
+
+// RunInstrumented is RunCtx with per-run instrumentation. This is how the
+// serving layer streams progress from inside the singleflight: the first
+// request for a key simulates with its sink attached, duplicates share the
+// result without re-simulating or double-instrumenting.
+func (s *Suite) RunInstrumented(ctx context.Context, p Pair, inst *Instrument) (Result, error) {
+	return s.runPairCtx(ctx, p, inst)
+}
+
 func (s *Suite) runPair(p Pair) (Result, error) {
-	key := s.key(p)
+	return s.runPairCtx(context.Background(), p, nil)
+}
+
+// runPairCtx returns the memoised measurement for p, running it if needed.
+// The first caller for a key executes the simulation (holding a worker-pool
+// token); later callers block on the same entry without consuming a worker,
+// so a full fan-out can never deadlock the pool. A first caller cancelled
+// while still waiting for a worker token removes its entry so a later
+// request can retry; waiters that joined it inherit the cancellation error.
+func (s *Suite) runPairCtx(ctx context.Context, p Pair, inst *Instrument) (Result, error) {
+	key := s.Key(p)
 	s.mu.Lock()
 	c, ok := s.cache[key]
 	if ok {
+		s.memoHits.Add(1)
 		s.mu.Unlock()
-		<-c.done
-		return c.res, c.err
+		select {
+		case <-c.done:
+			return c.res, c.err
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
 	}
+	s.memoMisses.Add(1)
 	c = &suiteCall{done: make(chan struct{})}
 	s.cache[key] = c
 	s.mu.Unlock()
 
-	s.sem <- struct{}{}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.mu.Lock()
+		delete(s.cache, key)
+		s.mu.Unlock()
+		c.err = ctx.Err()
+		close(c.done)
+		return Result{}, ctx.Err()
+	}
 	opt := s.Opt
 	if p.PPUs != 0 {
 		opt.PPUs = p.PPUs
 	}
 	if p.PPUMHz != 0 {
 		opt.PPUMHz = p.PPUMHz
+	}
+	if p.Scale != 0 {
+		opt.Scale = p.Scale
+	}
+	if inst != nil {
+		if inst.Sink != nil {
+			opt.TraceSink = inst.Sink
+		}
+		if inst.Metrics != nil {
+			opt.Metrics = inst.Metrics
+		}
+		if inst.Started != nil {
+			inst.Started()
+		}
 	}
 	c.res, c.err = Run(p.Bench, p.Scheme, opt)
 	<-s.sem

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"eventpf/internal/workloads"
+)
+
+// JobSpec is one simulation request as the outside world states it: a wire
+// format shared by ppfserve's POST /jobs body, ppfload's request generator
+// and any future batch front end. All fields except Bench and Scheme are
+// optional; zero values take the Table 1 / Table 2 defaults.
+type JobSpec struct {
+	// Bench is a Table 2 benchmark name; matching ignores case and
+	// punctuation (workloads.ByName).
+	Bench string `json:"bench"`
+	// Scheme is a Figure 7 scheme name ("no-pf", "stride", … "manual").
+	Scheme string `json:"scheme"`
+	// Scale multiplies the benchmark's default reduced input; 0 means 1.0
+	// (servers typically substitute their own default before resolving).
+	Scale float64 `json:"scale,omitempty"`
+	// PPUs and PPUMHz override the prefetcher sizing (0 = default).
+	PPUs   int `json:"ppus,omitempty"`
+	PPUMHz int `json:"ppu_mhz,omitempty"`
+}
+
+// Job is a resolved, canonical JobSpec: the benchmark and scheme exist, and
+// every field is folded to its effective value, so two Jobs describe the
+// same simulation if and only if they are equal (and hash to the same Key).
+type Job struct {
+	Bench  *workloads.Benchmark
+	Scheme Scheme
+	Scale  float64
+	PPUs   int
+	PPUMHz int
+}
+
+// Resolve validates the spec and folds it to canonical form: benchmark and
+// scheme names are resolved (an unknown name's error lists the valid ones),
+// scale defaults to 1.0, and PPU sizing is folded exactly like the Suite
+// memo key — defaults filled in for programmable schemes, zeroed for
+// schemes a PPU cannot affect — so the content hash never distinguishes
+// requests the simulator cannot.
+func (j JobSpec) Resolve() (Job, error) {
+	b, err := workloads.ByName(j.Bench)
+	if err != nil {
+		return Job{}, err
+	}
+	scheme, ok := ParseScheme(j.Scheme)
+	if !ok {
+		return Job{}, fmt.Errorf("harness: unknown scheme %q; valid schemes: %s",
+			j.Scheme, strings.Join(SchemeNames(), ", "))
+	}
+	if j.Scale < 0 {
+		return Job{}, fmt.Errorf("harness: scale %g must be positive", j.Scale)
+	}
+	scale := j.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	if j.PPUs < 0 || j.PPUMHz < 0 {
+		return Job{}, fmt.Errorf("harness: PPU sizing %d×%dMHz must not be negative", j.PPUs, j.PPUMHz)
+	}
+	ppus, mhz := foldSizing(scheme, j.PPUs, j.PPUMHz, Options{})
+	return Job{Bench: b, Scheme: scheme, Scale: scale, PPUs: ppus, PPUMHz: mhz}, nil
+}
+
+// Pair converts the job to the Suite's memo request. The pair carries the
+// job's scale, so one suite serves jobs at any mix of scales.
+func (j Job) Pair() Pair {
+	return Pair{Bench: j.Bench, Scheme: j.Scheme, Scale: j.Scale, PPUs: j.PPUs, PPUMHz: j.PPUMHz}
+}
+
+// Canonical renders the resolved config in the fixed textual form the
+// content hash covers. The field order is part of the cache format.
+func (j Job) Canonical() string {
+	return fmt.Sprintf("bench=%s;scheme=%s;scale=%g;ppus=%d;mhz=%d",
+		j.Bench.Name, j.Scheme, j.Scale, j.PPUs, j.PPUMHz)
+}
+
+// Key is the job's content address: the hex SHA-256 of the canonical
+// resolved config. Every request that must simulate identically — whatever
+// spelling, casing or redundant sizing the client used — has the same Key,
+// so a result cache indexed by it can never serve the wrong result and
+// never simulates one config twice.
+func (j Job) Key() string {
+	sum := sha256.Sum256([]byte(j.Canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// ParseScheme resolves a scheme name as printed by Scheme.String
+// ("no-pf", "ghb-large", "manual-blocked", …).
+func ParseScheme(s string) (Scheme, bool) {
+	for _, sch := range AllSchemes {
+		if sch.String() == s {
+			return sch, true
+		}
+	}
+	return 0, false
+}
+
+// AllSchemes lists every scheme, including NoPF and the Figure 11 blocked
+// variant that the presentation-ordered Schemes slice omits.
+var AllSchemes = []Scheme{
+	NoPF, Stride, GHBRegular, GHBLarge, Software, Pragma, Converted, Manual, ManualBlocked,
+}
+
+// SchemeNames returns every scheme's parseable name.
+func SchemeNames() []string {
+	names := make([]string, len(AllSchemes))
+	for i, s := range AllSchemes {
+		names[i] = s.String()
+	}
+	return names
+}
+
+// UnmarshalText is the inverse of MarshalText, so schemes round-trip
+// through JSON job records.
+func (s *Scheme) UnmarshalText(text []byte) error {
+	sch, ok := ParseScheme(string(text))
+	if !ok {
+		return fmt.Errorf("harness: unknown scheme %q; valid schemes: %s",
+			text, strings.Join(SchemeNames(), ", "))
+	}
+	*s = sch
+	return nil
+}
+
+// EncodeResult writes the canonical JSON encoding of a Result: the exact
+// bytes ppfsim -json prints and ppfserve caches and serves, so "the daemon's
+// answer is byte-identical to the CLI's" is a property of this one function.
+func EncodeResult(w io.Writer, r Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

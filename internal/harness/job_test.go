@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"eventpf/internal/trace"
+	"eventpf/internal/workloads"
+)
+
+// TestMemoCountersPinned is the satellite regression test: a repeated Suite
+// run has exactly one miss and one hit per repetition, and FillMetrics
+// exports those counts (idempotently) into a registry.
+func TestMemoCountersPinned(t *testing.T) {
+	s := NewSuite(Options{Scale: testScale, Parallel: 2})
+	p := Pair{Bench: workloads.HJ2, Scheme: NoPF}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := s.MemoStats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("memo stats after 3 identical runs: hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	// A second distinct pair is one more miss; re-running it one more hit.
+	q := Pair{Bench: workloads.HJ2, Scheme: Stride}
+	if err := s.Prefetch([]Pair{q, q}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(q); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = s.MemoStats()
+	if misses != 2 {
+		t.Errorf("memo misses = %d, want 2 (two distinct configs simulated)", misses)
+	}
+	if hits != 4 {
+		t.Errorf("memo hits = %d, want 4", hits)
+	}
+
+	reg := trace.NewRegistry()
+	s.FillMetrics(reg)
+	s.FillMetrics(reg) // set semantics: filling twice must not double
+	if got := reg.Counter("suite.memo.hits").N; got != hits {
+		t.Errorf("registry suite.memo.hits = %d, want %d", got, hits)
+	}
+	if got := reg.Counter("suite.memo.misses").N; got != misses {
+		t.Errorf("registry suite.memo.misses = %d, want %d", got, misses)
+	}
+}
+
+// TestRunCtxCancelledWaiter: a context cancelled before the suite can start
+// the simulation returns promptly with ctx.Err() and leaves the memo clean,
+// so a later request for the same pair still works.
+func TestRunCtxCancelledWaiter(t *testing.T) {
+	s := NewSuite(Options{Scale: testScale, Parallel: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Pair{Bench: workloads.RandAcc, Scheme: NoPF}
+	// The pool has one worker and nothing running, so the only cancellation
+	// window that is guaranteed regardless of scheduling is "cancelled
+	// before the call": the semaphore select sees ctx.Done() already closed
+	// — either arm may win, so accept success or context.Canceled, but a
+	// follow-up uncancelled run must always succeed.
+	if _, err := s.RunCtx(ctx, p); err != nil && err != context.Canceled {
+		t.Fatalf("RunCtx with cancelled ctx: %v", err)
+	}
+	if _, err := s.RunCtx(context.Background(), p); err != nil {
+		t.Fatalf("run after cancelled attempt: %v", err)
+	}
+}
+
+// TestPairScaleExtendsMemoKey: the same bench×scheme at two scales must be
+// two memo entries (the serving layer relies on this), while scale 0 folds
+// onto the suite default.
+func TestPairScaleExtendsMemoKey(t *testing.T) {
+	s := NewSuite(Options{Scale: testScale, Parallel: 2})
+	base := Pair{Bench: workloads.HJ2, Scheme: NoPF}
+	dflt := base
+	dflt.Scale = testScale // explicit default scale: same key
+	other := base
+	other.Scale = testScale * 2
+	if s.Key(base) != s.Key(dflt) {
+		t.Errorf("explicit default scale changed the key: %q vs %q", s.Key(base), s.Key(dflt))
+	}
+	if s.Key(base) == s.Key(other) {
+		t.Errorf("different scales share key %q", s.Key(base))
+	}
+	r1, err := s.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles == r2.Cycles {
+		t.Error("runs at different scales returned identical cycle counts; memo likely collided")
+	}
+}
+
+func TestJobSpecResolveAndKey(t *testing.T) {
+	// Spelling, casing and redundant sizing must all fold onto one key.
+	specs := []JobSpec{
+		{Bench: "HJ-2", Scheme: "manual", Scale: 0.1},
+		{Bench: "hj2", Scheme: "manual", Scale: 0.1},
+		{Bench: "hj_2", Scheme: "manual", Scale: 0.1, PPUs: 12, PPUMHz: 1000},
+	}
+	var keys []string
+	for _, sp := range specs {
+		j, err := sp.Resolve()
+		if err != nil {
+			t.Fatalf("Resolve(%+v): %v", sp, err)
+		}
+		keys = append(keys, j.Key())
+	}
+	if keys[0] != keys[1] || keys[0] != keys[2] {
+		t.Errorf("equivalent specs hash differently: %v", keys)
+	}
+	if len(keys[0]) != 64 {
+		t.Errorf("key %q is not a hex sha256", keys[0])
+	}
+
+	// Sizing on a scheme with no PPU folds to zero: same content address.
+	a, err := JobSpec{Bench: "HJ-2", Scheme: "no-pf", Scale: 0.1}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JobSpec{Bench: "HJ-2", Scheme: "no-pf", Scale: 0.1, PPUs: 4, PPUMHz: 250}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("PPU sizing changed a no-pf key: %s vs %s", a.Canonical(), b.Canonical())
+	}
+
+	// Distinct configs must not collide.
+	c, err := JobSpec{Bench: "HJ-2", Scheme: "manual", Scale: 0.1, PPUs: 4}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Key() == keys[0] {
+		t.Error("different PPU count produced the same key")
+	}
+
+	// Errors carry the valid menu.
+	if _, err := (JobSpec{Bench: "nope", Scheme: "manual"}).Resolve(); err == nil ||
+		!strings.Contains(err.Error(), "hj2") {
+		t.Errorf("unknown bench error %v does not list valid names", err)
+	}
+	if _, err := (JobSpec{Bench: "HJ-2", Scheme: "nope"}).Resolve(); err == nil ||
+		!strings.Contains(err.Error(), "manual-blocked") {
+		t.Errorf("unknown scheme error %v does not list valid schemes", err)
+	}
+	if _, err := (JobSpec{Bench: "HJ-2", Scheme: "manual", Scale: -1}).Resolve(); err == nil {
+		t.Error("negative scale resolved")
+	}
+}
+
+// TestSchemeRoundTrip pins ParseScheme/UnmarshalText against String.
+func TestSchemeRoundTrip(t *testing.T) {
+	for _, sch := range AllSchemes {
+		got, ok := ParseScheme(sch.String())
+		if !ok || got != sch {
+			t.Errorf("ParseScheme(%q) = %v, %v", sch.String(), got, ok)
+		}
+		var u Scheme
+		if err := u.UnmarshalText([]byte(sch.String())); err != nil || u != sch {
+			t.Errorf("UnmarshalText(%q) = %v, %v", sch.String(), u, err)
+		}
+	}
+	if _, ok := ParseScheme("bogus"); ok {
+		t.Error("ParseScheme(bogus) succeeded")
+	}
+}
+
+// TestEncodeResultDeterministic: the canonical encoding of the same config
+// is byte-identical across independent simulations — the property ppfserve's
+// content-addressed cache serves under.
+func TestEncodeResultDeterministic(t *testing.T) {
+	j, err := JobSpec{Bench: "HJ-2", Scheme: "stride", Scale: testScale}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		res, err := Run(j.Bench, j.Scheme, Options{Scale: j.Scale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeResult(&bufs[i], res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Error("two runs of the same config encode differently")
+	}
+}

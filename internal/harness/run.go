@@ -83,7 +83,8 @@ type Options struct {
 	// TraceSink, if non-nil, is attached to the machine-wide trace bus and
 	// receives typed events from every component (core, caches, TLB, DRAM,
 	// prefetcher). The sink runs on the simulation goroutine: pass a
-	// per-run sink, never one shared across a parallel Suite.
+	// per-run sink, or wrap a shared one in trace.Locked before letting a
+	// parallel Suite's runs write to it concurrently.
 	TraceSink trace.Sink
 	// Metrics, if non-nil, receives the machine's counters and
 	// queue-occupancy histograms. Same confinement rule as TraceSink.

@@ -1,0 +1,183 @@
+// Package serve is the simulation-as-a-service layer: a long-running HTTP
+// daemon that accepts benchmark×scheme×config jobs, runs them on a bounded
+// worker pool layered on harness.Suite, serves results from a
+// content-addressed cache, streams per-job progress over SSE, and exposes a
+// /metrics endpoint combining server counters with the simulator's merged
+// trace registries. Design-space exploration around programmable
+// prefetchers is sweep-shaped; the service turns the one-shot CLI harness
+// into an always-warm result store where identical in-flight and past
+// requests never simulate twice.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eventpf/internal/harness"
+)
+
+// State is a job's position in its lifecycle. Transitions only move
+// forward: Queued → Running → one of the terminal states, or Queued
+// directly to Rejected when a drain empties the queue.
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateRejected State = "rejected" // dropped from the queue (drain or cancel)
+)
+
+// terminal reports whether no further transitions can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateRejected
+}
+
+// ProgressEvent is one entry of a job's ordered progress chain, streamed to
+// SSE subscribers. Seq is dense and starts at 0 (the "queued" event), so a
+// client can detect gaps; a late subscriber replays the whole chain.
+type ProgressEvent struct {
+	Seq   int64 `json:"seq"`
+	State State `json:"state"`
+	// Phase refines Running ("simulating") and carries the terminal detail
+	// ("oracle-checked", "draining", …).
+	Phase string `json:"phase,omitempty"`
+	// Events is the number of machine trace events observed so far; SimTicks
+	// is the simulated clock they reach. Zero outside Running progress.
+	Events   int64  `json:"events,omitempty"`
+	SimTicks int64  `json:"sim_ticks,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Job is one admitted simulation request and its runtime state. The spec is
+// immutable after admission; everything else is guarded by mu.
+type Job struct {
+	ID   string          `json:"id"`
+	Key  string          `json:"key"` // content address of the resolved config
+	Spec harness.JobSpec `json:"spec"`
+
+	resolved harness.Job
+
+	mu       sync.Mutex
+	state    State
+	errMsg   string
+	result   []byte // canonical harness.EncodeResult bytes, set when done
+	events   []ProgressEvent
+	subs     map[chan ProgressEvent]struct{}
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+func newJob(id string, spec harness.JobSpec, resolved harness.Job, now time.Time) *Job {
+	j := &Job{
+		ID:       id,
+		Key:      resolved.Key(),
+		Spec:     spec,
+		resolved: resolved,
+		state:    StateQueued,
+		subs:     map[chan ProgressEvent]struct{}{},
+		created:  now,
+	}
+	j.publish(ProgressEvent{State: StateQueued})
+	return j
+}
+
+// publish appends the next event of the chain (assigning its Seq) and fans
+// it out to subscribers. Callers must NOT hold j.mu.
+func (j *Job) publish(ev ProgressEvent) {
+	j.mu.Lock()
+	ev.Seq = int64(len(j.events))
+	j.events = append(j.events, ev)
+	if ev.State != "" {
+		j.state = ev.State
+	}
+	if ev.Error != "" {
+		j.errMsg = ev.Error
+	}
+	var subs []chan ProgressEvent
+	for ch := range j.subs {
+		subs = append(subs, ch)
+	}
+	j.mu.Unlock()
+	for _, ch := range subs {
+		// Subscriber channels are buffered; a stalled client drops events
+		// rather than stalling the simulation. The SSE handler resyncs from
+		// the replay log on reconnect.
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe registers a new subscriber and returns the replay of everything
+// published so far; the channel receives all later events.
+func (j *Job) subscribe() (<-chan ProgressEvent, []ProgressEvent, func()) {
+	ch := make(chan ProgressEvent, 64)
+	j.mu.Lock()
+	replay := append([]ProgressEvent(nil), j.events...)
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+	return ch, replay, cancel
+}
+
+// snapshot returns the job's externally visible status.
+func (j *Job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:     j.ID,
+		Key:    j.Key,
+		Spec:   j.Spec,
+		State:  j.state,
+		Error:  j.errMsg,
+		Events: int64(len(j.events)),
+	}
+	if !j.started.IsZero() && !j.finished.IsZero() {
+		st.RunSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	return st
+}
+
+// JobStatus is the GET /jobs/{id} response body.
+type JobStatus struct {
+	ID         string          `json:"id"`
+	Key        string          `json:"key"`
+	Spec       harness.JobSpec `json:"spec"`
+	State      State           `json:"state"`
+	Error      string          `json:"error,omitempty"`
+	Events     int64           `json:"progress_events"`
+	RunSeconds float64         `json:"run_seconds,omitempty"`
+}
+
+// state returns the current state under the lock.
+func (j *Job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// setResult stores the canonical result bytes (called once, on done).
+func (j *Job) setResult(b []byte) {
+	j.mu.Lock()
+	j.result = b
+	j.mu.Unlock()
+}
+
+// resultBytes returns the stored canonical bytes, or nil if not done.
+func (j *Job) resultBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+func jobID(n uint64) string { return fmt.Sprintf("j%d", n) }

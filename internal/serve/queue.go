@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"eventpf/internal/harness"
+	"eventpf/internal/trace"
+)
+
+// startWorkers launches the bounded pool. The pool is the only place
+// simulations run, so goroutine growth is bounded by Workers regardless of
+// request volume — saturation turns into 429s at admission, never into
+// unbounded concurrency.
+func (s *Server) startWorkers() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			for jb := range s.queue {
+				s.dispatch(jb)
+			}
+		}()
+	}
+}
+
+// dispatch runs one popped job, or rejects it if it was cancelled while
+// queued or the server is draining (drain semantics: in-flight jobs finish,
+// queued jobs are rejected).
+func (s *Server) dispatch(jb *Job) {
+	if jb.currentState() != StateQueued {
+		return // cancelled while queued; already terminal
+	}
+	if s.m.draining.Load() {
+		s.finishJob(jb, StateRejected, "server draining: queued job rejected")
+		return
+	}
+	s.m.inflight.Add(1)
+	jb.mu.Lock()
+	jb.started = time.Now()
+	jb.mu.Unlock()
+	jb.publish(ProgressEvent{State: StateRunning, Phase: "starting"})
+
+	result, err := s.runJob(jb)
+
+	jb.mu.Lock()
+	jb.finished = time.Now()
+	dur := jb.finished.Sub(jb.started)
+	jb.mu.Unlock()
+	s.observeRunDuration(dur)
+	s.m.inflight.Add(-1)
+
+	switch {
+	case err != nil && errors.Is(err, harness.ErrUnsupported):
+		s.finishJob(jb, StateFailed, fmt.Sprintf("scheme %s is not applicable to %s (the paper's missing bars)",
+			jb.resolved.Scheme, jb.resolved.Bench.Name))
+	case err != nil:
+		s.finishJob(jb, StateFailed, err.Error())
+	default:
+		jb.setResult(result)
+		s.storeResult(jb, result)
+		s.m.completed.Add(1)
+		jb.publish(ProgressEvent{State: StateDone, Phase: "oracle-checked"})
+	}
+}
+
+// finishJob moves a job to a terminal failure/rejection state and clears
+// its in-flight registration.
+func (s *Server) finishJob(jb *Job, st State, msg string) {
+	s.mu.Lock()
+	if s.byKey[jb.Key] == jb {
+		delete(s.byKey, jb.Key)
+	}
+	s.mu.Unlock()
+	if st == StateFailed {
+		s.m.failed.Add(1)
+	}
+	jb.publish(ProgressEvent{State: st, Error: msg})
+}
+
+// simulate is the production runJob: one suite measurement with the job's
+// own progress sink and metrics registry attached. The registry is confined
+// to the simulation goroutine until the run finishes, then merged into the
+// server-wide aggregate.
+func (s *Server) simulate(jb *Job) ([]byte, error) {
+	reg := trace.NewRegistry()
+	sink := &progressSink{job: jb, every: s.cfg.ProgressEvery}
+	inst := &harness.Instrument{
+		Sink:    sink,
+		Metrics: reg,
+		Started: func() { jb.publish(ProgressEvent{State: StateRunning, Phase: "simulating"}) },
+	}
+	res, err := s.suite.RunInstrumented(context.Background(), jb.resolved.Pair(), inst)
+	if err != nil {
+		return nil, err
+	}
+	s.sim.merge(reg)
+	var buf bytes.Buffer
+	if err := harness.EncodeResult(&buf, res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// observeRunDuration feeds the Retry-After estimator (EWMA, α=1/4).
+func (s *Server) observeRunDuration(d time.Duration) {
+	s.mu.Lock()
+	if s.ewmaRunNs == 0 {
+		s.ewmaRunNs = d.Nanoseconds()
+	} else {
+		s.ewmaRunNs += (d.Nanoseconds() - s.ewmaRunNs) / 4
+	}
+	s.mu.Unlock()
+}
+
+// retryAfterLocked estimates how long a rejected client should wait for a
+// queue slot: the queued work divided by the worker pool, clamped to
+// [1s, 30s]. Callers hold s.mu.
+func (s *Server) retryAfterLocked() int {
+	est := time.Duration(s.ewmaRunNs) * time.Duration(len(s.queue)+1) / time.Duration(s.cfg.Workers)
+	sec := int(est / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}
+
+// Drain gracefully shuts the daemon down: new submissions are refused,
+// queued jobs are rejected, in-flight jobs run to completion. It returns
+// when the workers have drained or ctx expires (a second SIGTERM path
+// force-exits without waiting; see HandleSignals).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		select {
+		case <-s.drained:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s.draining = true
+	s.m.draining.Store(true)
+	close(s.queue) // submissions check draining under s.mu before sending
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(s.drained)
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// HandleSignals implements the daemon's shutdown policy: the first signal
+// starts a graceful drain (in-flight jobs finish, queued jobs are rejected,
+// new submissions get 503) and then calls shutdown; a second signal — the
+// operator lost patience — force-exits via exit(1) without waiting for the
+// drain. Returns when the graceful path completes. cmd/ppfserve wires real
+// SIGINT/SIGTERM into sigc; tests inject a fake channel and exit func.
+func HandleSignals(s *Server, sigc <-chan os.Signal, shutdown func(), exit func(int)) {
+	<-sigc
+	done := make(chan struct{})
+	go func() {
+		// The drain itself is unbounded (a simulation finishes when it
+		// finishes); the escape hatch is the second signal, not a timer.
+		_ = s.Drain(context.Background())
+		if shutdown != nil {
+			shutdown()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-sigc:
+		exit(1)
+		// In production exit never returns; in tests it records the code,
+		// so give the drain a beat and fall through either way.
+		select {
+		case <-done:
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"eventpf/internal/trace"
+)
+
+// progressSink turns the machine-wide trace bus into job progress: it
+// counts every event the simulation emits and publishes a progress entry
+// each `every` events with the running totals and the simulated clock. It
+// runs inline on the simulation goroutine (harness.Instrument confines it),
+// so the per-event cost is one increment; publishing amortises to nothing.
+type progressSink struct {
+	job   *Job
+	every int64
+	n     int64
+	fills int64
+}
+
+func (p *progressSink) Event(e trace.Event) {
+	p.n++
+	if e.Kind == trace.PFFill {
+		p.fills++
+	}
+	if p.n%p.every == 0 {
+		p.job.publish(ProgressEvent{
+			State:    StateRunning,
+			Phase:    "simulating",
+			Events:   p.n,
+			SimTicks: e.At,
+		})
+	}
+}
+
+// handleEvents streams a job's progress chain as Server-Sent Events. The
+// chain replays from seq 0, so a subscriber attaching at any point sees
+// every transition in order; the stream ends after the terminal event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	ch, replay, cancel := jb.subscribe()
+	defer cancel()
+
+	// next is the seq the client expects; replay covers everything already
+	// published, the channel everything after. Events the buffered channel
+	// dropped for a slow client are resent from the job's log.
+	next := int64(0)
+	send := func(ev ProgressEvent) bool {
+		if ev.Seq < next {
+			return false // duplicate of a replayed event
+		}
+		writeSSE(w, ev)
+		next = ev.Seq + 1
+		return ev.State.terminal()
+	}
+	for _, ev := range replay {
+		if send(ev) {
+			fl.Flush()
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case ev := <-ch:
+			if ev.Seq > next {
+				// The channel dropped events while we weren't listening;
+				// refetch the gap from the job's log.
+				jb.mu.Lock()
+				gap := append([]ProgressEvent(nil), jb.events[next:ev.Seq]...)
+				jb.mu.Unlock()
+				for _, g := range gap {
+					if send(g) {
+						fl.Flush()
+						return
+					}
+				}
+			}
+			terminal := send(ev)
+			fl.Flush()
+			if terminal {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one event in SSE wire format: id is the chain seq,
+// event the job state, data the full JSON record.
+func writeSSE(w http.ResponseWriter, ev ProgressEvent) {
+	data, _ := json.Marshal(ev)
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.State, data)
+}

@@ -133,6 +133,41 @@ func (h *Hist) Max() int {
 	return 0
 }
 
+// Merge folds another registry's counts into this one: counters add, and
+// histograms add bucket-wise (growing this registry's bucket range if the
+// source observed a wider one). The serving layer uses it to aggregate the
+// per-run registries of completed jobs — each run's registry stays confined
+// to its simulation goroutine, and the finished snapshot is merged under the
+// server's lock — so Merge itself needs no synchronisation beyond the
+// caller's.
+func (r *Registry) Merge(o *Registry) {
+	if o == nil {
+		return
+	}
+	for _, c := range o.counters {
+		r.Counter(c.Name).Add(c.N)
+	}
+	for _, h := range o.hists {
+		dst := r.Hist(h.Name, len(h.Buckets)-1)
+		if len(dst.Buckets) < len(h.Buckets) {
+			dst.Buckets = append(dst.Buckets, make([]int64, len(h.Buckets)-len(dst.Buckets))...)
+		}
+		for v, n := range h.Buckets {
+			dst.Buckets[v] += n
+		}
+		dst.N += h.N
+		dst.Sum += h.Sum
+		dst.Clamped += h.Clamped
+	}
+}
+
+// Counters returns the registered counters in registration order; the
+// serving layer's /metrics endpoint walks this to render each one.
+func (r *Registry) Counters() []*Counter { return r.counters }
+
+// Hists returns the registered histograms in registration order.
+func (r *Registry) Hists() []*Hist { return r.hists }
+
 // Format renders the registry as an aligned text report, counters first,
 // then one summary line per histogram, both sorted by name.
 func (r *Registry) Format() string {

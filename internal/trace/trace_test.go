@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -170,4 +171,80 @@ func TestKindStrings(t *testing.T) {
 			t.Errorf("kind %d has no name", k)
 		}
 	}
+}
+
+// TestLockedSinkConcurrentWriters hammers one Locked collector from many
+// goroutines (the shape of a parallel Suite sharing one Options.TraceSink);
+// under -race this pins the concurrent-writer guarantee, and the count
+// check pins that no event is lost.
+func TestLockedSinkConcurrentWriters(t *testing.T) {
+	c := NewCollector()
+	s := Locked(c)
+	const writers, perWriter = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Event(Event{At: int64(i), Kind: PFIssue, A: int32(w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(c.Events()); got != writers*perWriter {
+		t.Errorf("locked collector kept %d events, want %d", got, writers*perWriter)
+	}
+	// Per-writer order must survive the interleaving.
+	last := make(map[int32]int64)
+	for _, e := range c.Events() {
+		if prev, ok := last[e.A]; ok && e.At <= prev {
+			t.Fatalf("writer %d events out of order: %d after %d", e.A, e.At, prev)
+		}
+		last[e.A] = e.At
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x").Add(3)
+	a.Counter("only-a").Add(1)
+	b.Counter("x").Add(4)
+	b.Counter("only-b").Add(9)
+	ha := a.Hist("q", 4)
+	for _, v := range []int{0, 2, 4} {
+		ha.Observe(v)
+	}
+	hb := b.Hist("q", 8) // wider range: merge must grow a's buckets
+	for _, v := range []int{2, 8, 20} {
+		hb.Observe(v)
+	}
+
+	a.Merge(b)
+	for _, want := range []struct {
+		name string
+		n    int64
+	}{{"x", 7}, {"only-a", 1}, {"only-b", 9}} {
+		if got := a.Counter(want.name).N; got != want.n {
+			t.Errorf("merged counter %s = %d, want %d", want.name, got, want.n)
+		}
+	}
+	h := a.Hist("q", 4) // lookup by name; max ignored for existing hists
+	if h.N != 6 || h.Sum != 2+4+2+8+8 {
+		t.Errorf("merged hist: n=%d sum=%d, want n=6 sum=%d", h.N, h.Sum, 2+4+2+8+8)
+	}
+	if len(h.Buckets) != 9 {
+		t.Errorf("merged hist has %d buckets, want 9 (grown to source range)", len(h.Buckets))
+	}
+	if h.Buckets[2] != 2 || h.Buckets[8] != 2 || h.Clamped != 1 {
+		t.Errorf("merged buckets wrong: b2=%d b8=%d clamped=%d", h.Buckets[2], h.Buckets[8], h.Clamped)
+	}
+	// Merging into an empty registry is a deep count copy.
+	c := NewRegistry()
+	c.Merge(a)
+	if c.Counter("x").N != 7 || c.Hist("q", 1).N != 6 {
+		t.Error("merge into empty registry lost counts")
+	}
+	// Nil source is a no-op.
+	c.Merge(nil)
 }

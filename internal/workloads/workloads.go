@@ -92,21 +92,39 @@ var All = []*Benchmark{
 	ConjGrad,
 }
 
-// ByName finds a benchmark by its Table 2 name. Matching ignores case and
-// punctuation, so "hj8" and "g500csr" resolve to "HJ-8" and "G500-CSR".
-func ByName(name string) (*Benchmark, bool) {
-	fold := func(s string) string {
-		s = strings.ToLower(s)
-		s = strings.ReplaceAll(s, "-", "")
-		return strings.ReplaceAll(s, "_", "")
+// fold normalises a benchmark name for matching: lower case, punctuation
+// stripped, so "hj8" and "g500csr" resolve to "HJ-8" and "G500-CSR".
+func fold(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, "-", "")
+	return strings.ReplaceAll(s, "_", "")
+}
+
+// Names lists the canonical Table 2 benchmark names in presentation order.
+func Names() []string {
+	names := make([]string, len(All))
+	for i, b := range All {
+		names[i] = b.Name
 	}
+	return names
+}
+
+// ByName finds a benchmark by its Table 2 name. Matching ignores case and
+// punctuation. On an unknown name the error lists the valid names, so CLIs
+// and the job server can surface the whole menu instead of a bare failure.
+func ByName(name string) (*Benchmark, error) {
 	want := fold(name)
 	for _, b := range All {
 		if fold(b.Name) == want {
-			return b, true
+			return b, nil
 		}
 	}
-	return nil, false
+	folded := make([]string, len(All))
+	for i, b := range All {
+		folded[i] = fold(b.Name)
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q; valid names (case and punctuation ignored): %s",
+		name, strings.Join(folded, ", "))
 }
 
 func scaled(base int, scale float64) int {

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"strings"
 	"testing"
 
 	"eventpf/internal/ir"
@@ -198,13 +199,21 @@ func TestLoopHelperBuildsValidLoop(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	for _, b := range All {
-		got, ok := ByName(b.Name)
-		if !ok || got != b {
-			t.Errorf("ByName(%s) failed", b.Name)
+		got, err := ByName(b.Name)
+		if err != nil || got != b {
+			t.Errorf("ByName(%s) failed: %v", b.Name, err)
 		}
 	}
-	if _, ok := ByName("nope"); ok {
-		t.Error("ByName(nope) succeeded")
+	_, err := ByName("nope")
+	if err == nil {
+		t.Fatal("ByName(nope) succeeded")
+	}
+	// The error must list every valid (folded) name so callers can surface
+	// the whole menu (e.g. the job server's 400 response).
+	for _, b := range All {
+		if !strings.Contains(err.Error(), fold(b.Name)) {
+			t.Errorf("ByName error %q does not mention %q", err, fold(b.Name))
+		}
 	}
 }
 

@@ -7,9 +7,11 @@
 #   scripts/bench.sh 'BenchmarkFig7' # filter by regexp
 #   BENCHTIME=3x scripts/bench.sh    # more iterations
 #
-# Output: BENCH_<yyyymmdd>.json in the repo root, an array of
-# {"name", "iterations", "metrics": {"ns/op": ..., "allocs/op": ..., ...}}
-# objects, one per benchmark line, plus the raw text alongside it.
+# Output: BENCH_<yyyymmdd>.json in the repo root:
+# {"meta": {"git_sha", "date", "go_version"},
+#  "benchmarks": [{"name", "iterations", "metrics": {"ns/op": ...}}, ...]}
+# plus the raw benchmark text alongside it. The meta block makes any two
+# BENCH files comparable without consulting the shell history that made them.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,9 +21,20 @@ stamp="$(date +%Y%m%d)"
 raw="BENCH_${stamp}.txt"
 out="BENCH_${stamp}.json"
 
+git_sha="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    git_sha="${git_sha}-dirty"
+fi
+iso_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+go_version="$(go env GOVERSION)"
+
 go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem . | tee "$raw"
 
-awk '
+awk -v git_sha="$git_sha" -v iso_date="$iso_date" -v go_version="$go_version" '
+BEGIN {
+    printf "{\"meta\":{\"git_sha\":\"%s\",\"date\":\"%s\",\"go_version\":\"%s\"},\n", git_sha, iso_date, go_version
+    print "\"benchmarks\":["
+}
 /^Benchmark/ {
     printf "%s  {\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", sep, $1, $2
     msep = ""
@@ -32,8 +45,7 @@ awk '
     printf "}}"
     sep = ",\n"
 }
-BEGIN { print "[" }
-END   { print "\n]" }
+END { print "\n]}" }
 ' "$raw" > "$out"
 
 echo "wrote $out"
