@@ -1,0 +1,474 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eventpf/internal/harness"
+	"eventpf/internal/serve"
+)
+
+// testWorker is one stubbed ppfserve instance: a real serve.Server (so the
+// cache, dedup, SSE, and /metrics paths are the production ones) whose
+// simulation is replaced by a counting stub — runs is exactly the number of
+// re-simulations the cluster allowed.
+type testWorker struct {
+	id   string
+	srv  *serve.Server
+	hs   *httptest.Server
+	runs atomic.Int64
+}
+
+func stubResult() []byte { return []byte("{\"stub\":true}\n") }
+
+func newTestWorker(t *testing.T, coordURL, id string, run func(*serve.Job) ([]byte, error)) *testWorker {
+	t.Helper()
+	w := &testWorker{id: id}
+	w.srv = serve.NewServer(serve.Config{Workers: 1, QueueDepth: 16, IDPrefix: id + "-"})
+	w.srv.SetRunner(func(jb *serve.Job) ([]byte, error) {
+		w.runs.Add(1)
+		if run != nil {
+			return run(jb)
+		}
+		return stubResult(), nil
+	})
+	w.hs = httptest.NewServer(w.srv.Handler())
+	t.Cleanup(w.hs.Close)
+	registerWorker(t, coordURL, WorkerInfo{ID: id, URL: w.hs.URL})
+	return w
+}
+
+func registerWorker(t *testing.T, coordURL string, info WorkerInfo) {
+	t.Helper()
+	body, _ := json.Marshal(info)
+	resp, err := http.Post(coordURL+"/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("registering %s: %v", info.ID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("registering %s: status %d", info.ID, resp.StatusCode)
+	}
+}
+
+// newTestCluster starts a coordinator plus n stub workers named w0..w{n-1}.
+// Backoff and jitter are pinned so failover retries are instant.
+func newTestCluster(t *testing.T, n int) (*Coordinator, *httptest.Server, []*testWorker) {
+	t.Helper()
+	c := NewCoordinator(Config{
+		RetryBase: time.Millisecond,
+		RetryCap:  2 * time.Millisecond,
+		Jitter:    func() float64 { return 0 },
+		// Workers in tests register once and never heartbeat; keep the
+		// liveness window far beyond test runtime so only explicit
+		// ejection (transport failure, DELETE /register) removes them.
+		HeartbeatEvery: 100 * time.Millisecond,
+		HeartbeatMiss:  100,
+	})
+	t.Cleanup(c.Close)
+	hs := httptest.NewServer(c.Handler())
+	t.Cleanup(hs.Close)
+	workers := make([]*testWorker, n)
+	for i := range workers {
+		workers[i] = newTestWorker(t, hs.URL, fmt.Sprintf("w%d", i), nil)
+	}
+	return c, hs, workers
+}
+
+func submitSpec(t *testing.T, baseURL string, sp harness.JobSpec, query string) (*http.Response, workerSubmitResponse) {
+	t.Helper()
+	body, _ := json.Marshal(sp)
+	resp, err := http.Post(baseURL+"/jobs"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr workerSubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return resp, sr
+}
+
+func scrapeCluster(t *testing.T, coordURL string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(coordURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := map[string]int64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var name string
+		var v int64
+		if _, err := fmt.Sscanf(sc.Text(), "%s %d", &name, &v); err == nil {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func keyOf(t *testing.T, sp harness.JobSpec) string {
+	t.Helper()
+	resolved, err := sp.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resolved.Key()
+}
+
+// TestRankWorkersProperties pins the three properties routing depends on:
+// determinism, balance (every worker owns some keys), and the rendezvous
+// invariant that removing one worker only promotes survivors — it never
+// reorders them — so the runner-up order doubles as the failover order.
+func TestRankWorkersProperties(t *testing.T) {
+	ids := []string{"w0", "w1", "w2", "w3"}
+	owners := map[string]int{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := rankWorkers(key, ids)
+		if len(order) != len(ids) {
+			t.Fatalf("rank dropped workers: %v", order)
+		}
+		again := rankWorkers(key, ids)
+		for j := range order {
+			if order[j] != again[j] {
+				t.Fatalf("rank not deterministic for %s: %v vs %v", key, order, again)
+			}
+		}
+		owners[order[0]]++
+
+		// Remove the top worker: the rest must keep their relative order.
+		var without []string
+		for _, id := range ids {
+			if id != order[0] {
+				without = append(without, id)
+			}
+		}
+		reduced := rankWorkers(key, without)
+		for j := range reduced {
+			if reduced[j] != order[j+1] {
+				t.Fatalf("removing owner reordered survivors for %s: %v vs %v", key, reduced, order)
+			}
+		}
+	}
+	for _, id := range ids {
+		if owners[id] == 0 {
+			t.Errorf("worker %s owns no keys out of 200 — hash badly skewed: %v", id, owners)
+		}
+	}
+}
+
+// TestRouteDuplicatesToSameWorker: every submission of a key lands on its
+// rendezvous owner, duplicates are served from that worker's cache with
+// byte-identical results, and the cluster-wide simulation count equals the
+// number of distinct configs.
+func TestRouteDuplicatesToSameWorker(t *testing.T) {
+	_, hs, workers := newTestCluster(t, 3)
+	ids := []string{"w0", "w1", "w2"}
+
+	specs := []harness.JobSpec{
+		{Bench: "HJ-2", Scheme: "stride", Scale: 0.02},
+		{Bench: "HJ-2", Scheme: "no-pf", Scale: 0.02},
+		{Bench: "RandAcc", Scheme: "stride", Scale: 0.02},
+		{Bench: "G500-CSR", Scheme: "no-pf", Scale: 0.02},
+	}
+	for _, sp := range specs {
+		key := keyOf(t, sp)
+		owner := rankWorkers(key, ids)[0]
+
+		resp1, sr1 := submitSpec(t, hs.URL, sp, "?wait=1")
+		if resp1.StatusCode != http.StatusOK {
+			t.Fatalf("first submit of %v: status %d (%s)", sp, resp1.StatusCode, sr1.Error)
+		}
+		if !strings.HasPrefix(sr1.ID, owner+"-") {
+			t.Errorf("job %s for key %.12s ran on the wrong worker (want owner %s)", sr1.ID, key, owner)
+		}
+
+		resp2, sr2 := submitSpec(t, hs.URL, sp, "")
+		if resp2.StatusCode != http.StatusOK || !sr2.Cached {
+			t.Errorf("duplicate of %v not served from cache: status %d cached=%v", sp, resp2.StatusCode, sr2.Cached)
+		}
+		if !bytes.Equal(sr1.Result, sr2.Result) {
+			t.Errorf("duplicate result differs from original for %v", sp)
+		}
+	}
+
+	var runs int64
+	for _, w := range workers {
+		runs += w.runs.Load()
+	}
+	if runs != int64(len(specs)) {
+		t.Errorf("cluster simulated %d times for %d distinct configs", runs, len(specs))
+	}
+}
+
+// TestFailoverMidStreamNoResim is the ISSUE acceptance scenario: three
+// workers, the key's owner dies mid-SSE-stream while a replica already
+// holds the replicated result, and the client must see one gap-free,
+// strictly-increasing seq chain ending in done — served from the replica's
+// cache, with zero additional simulations.
+func TestFailoverMidStreamNoResim(t *testing.T) {
+	c, hs, workers := newTestCluster(t, 3)
+	ids := []string{"w0", "w1", "w2"}
+	sp := harness.JobSpec{Bench: "HJ-2", Scheme: "stride", Scale: 0.02}
+	key := keyOf(t, sp)
+	order := rankWorkers(key, ids)
+	byID := map[string]*testWorker{}
+	for _, w := range workers {
+		byID[w.id] = w
+	}
+	owner := byID[order[0]]
+
+	// The owner's sim publishes progress then wedges — the job never
+	// completes there. The replicas already hold the canonical bytes (the
+	// replication a completed prior run would have performed).
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	defer close(gate)
+	owner.srv.SetRunner(func(jb *serve.Job) ([]byte, error) {
+		owner.runs.Add(1)
+		jb.Publish(serve.ProgressEvent{State: serve.StateRunning, Phase: "simulating", Events: 100})
+		jb.Publish(serve.ProgressEvent{State: serve.StateRunning, Phase: "simulating", Events: 200})
+		close(started)
+		<-gate
+		return stubResult(), nil
+	})
+	byID[order[1]].srv.CachePut(key, stubResult())
+	byID[order[2]].srv.CachePut(key, stubResult())
+
+	_, sr := submitSpec(t, hs.URL, sp, "")
+	if !strings.HasPrefix(sr.ID, owner.id+"-") {
+		t.Fatalf("job %s did not route to owner %s", sr.ID, owner.id)
+	}
+	<-started
+
+	resp, err := http.Get(hs.URL + "/jobs/" + sr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var events []serve.ProgressEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev serve.ProgressEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("bad SSE data %q: %v", data, err)
+		}
+		events = append(events, ev)
+		if len(events) == 4 {
+			// queued, running(starting), and both progress events arrived:
+			// kill the owner mid-stream, hard.
+			owner.hs.CloseClientConnections()
+			owner.hs.Close()
+		}
+	}
+
+	if len(events) < 5 {
+		t.Fatalf("only %d events before the stream closed: %+v", len(events), events)
+	}
+	for i, ev := range events {
+		if ev.Seq != int64(i) {
+			t.Fatalf("seq chain has a gap at %d (seq %d): %+v", i, ev.Seq, events)
+		}
+	}
+	last := events[len(events)-1]
+	if last.State != serve.StateDone {
+		t.Fatalf("chain ended in %s (%s), want done", last.State, last.Error)
+	}
+	if !strings.Contains(last.Phase, "replica") {
+		t.Errorf("terminal event not marked as replica-served: %+v", last)
+	}
+	for _, ev := range events[:len(events)-1] {
+		if ev.State.Terminal() {
+			t.Errorf("terminal state %s before the end of the chain", ev.State)
+		}
+	}
+
+	var runs int64
+	for _, w := range workers {
+		runs += w.runs.Load()
+	}
+	if runs != 1 {
+		t.Errorf("failover re-simulated: %d total runs, want 1 (owner only)", runs)
+	}
+	if got := c.m.sseFailovers.Load(); got != 1 {
+		t.Errorf("sse failovers = %d, want 1", got)
+	}
+}
+
+// TestPeerFillOnMembershipChange: after a result is computed and
+// replicated, a new worker that takes over the key's ownership is filled
+// from the previous owner before its first submit — so rebalancing is a
+// cache hit, never a re-simulation.
+func TestPeerFillOnMembershipChange(t *testing.T) {
+	_, hs, workers := newTestCluster(t, 2)
+	ids := []string{"w0", "w1"}
+	sp := harness.JobSpec{Bench: "HJ-2", Scheme: "stride", Scale: 0.02}
+	key := keyOf(t, sp)
+	runnerUp := rankWorkers(key, ids)[1]
+	byID := map[string]*testWorker{}
+	for _, w := range workers {
+		byID[w.id] = w
+	}
+
+	resp, sr := submitSpec(t, hs.URL, sp, "?wait=1")
+	if resp.StatusCode != http.StatusOK || sr.State != serve.StateDone {
+		t.Fatalf("seed run failed: status %d state %s", resp.StatusCode, sr.State)
+	}
+	// The coordinator replicates asynchronously; wait for the runner-up to
+	// hold the bytes.
+	waitFor(t, "replication to the runner-up", func() bool {
+		r, err := http.Get(byID[runnerUp].hs.URL + "/cache/" + key)
+		if err != nil {
+			return false
+		}
+		r.Body.Close()
+		return r.StatusCode == http.StatusOK
+	})
+
+	// Pick a joining worker ID that outranks both incumbents for this key,
+	// so the new worker becomes the owner the moment it registers.
+	newID := ""
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("nw%d", i)
+		if rankWorkers(key, append([]string{id}, ids...))[0] == id {
+			newID = id
+			break
+		}
+	}
+	if newID == "" {
+		t.Fatal("could not find an ID that outranks the incumbents")
+	}
+	nw := newTestWorker(t, hs.URL, newID, nil)
+
+	resp2, sr2 := submitSpec(t, hs.URL, sp, "")
+	if resp2.StatusCode != http.StatusOK || !sr2.Cached {
+		t.Fatalf("post-rebalance submit: status %d cached=%v (%s)", resp2.StatusCode, sr2.Cached, sr2.Error)
+	}
+	if nw.runs.Load() != 0 {
+		t.Errorf("new owner re-simulated %d times after taking over the key", nw.runs.Load())
+	}
+	m := scrapeCluster(t, hs.URL)
+	if m["cluster_peer_fills"] < 1 {
+		t.Errorf("cluster_peer_fills = %d, want >= 1", m["cluster_peer_fills"])
+	}
+	// The fill landed in the new owner's cache via PUT /cache.
+	r, err := http.Get(nw.hs.URL + "/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("new owner's cache has no entry for the key after peer fill")
+	}
+}
+
+// TestMetricsMergeSurvivesWorkerDeath: a departed worker's last-scraped
+// counters fold into the merged /metrics view (the tombstone), so
+// cluster-wide memo-miss accounting — what ppfload's zero-re-simulation
+// assertion reads — survives losing the worker that did the simulating.
+func TestMetricsMergeSurvivesWorkerDeath(t *testing.T) {
+	_, hs, workers := newTestCluster(t, 2)
+	sp := harness.JobSpec{Bench: "HJ-2", Scheme: "stride", Scale: 0.02}
+
+	resp, sr := submitSpec(t, hs.URL, sp, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed run failed: status %d", resp.StatusCode)
+	}
+	ownerID, _, _ := strings.Cut(sr.ID, "-")
+
+	before := scrapeCluster(t, hs.URL) // also scrapes + snapshots every worker
+	if before["ppfserve_cache_misses"] < 1 {
+		t.Fatalf("merged cache_misses = %d before death, want >= 1", before["ppfserve_cache_misses"])
+	}
+
+	for _, w := range workers {
+		if w.id == ownerID {
+			w.hs.CloseClientConnections()
+			w.hs.Close()
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/register/"+ownerID, nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	after := scrapeCluster(t, hs.URL)
+	if after["ppfserve_cache_misses"] < before["ppfserve_cache_misses"] {
+		t.Errorf("merged cache_misses dropped from %d to %d after worker death — tombstone lost",
+			before["ppfserve_cache_misses"], after["ppfserve_cache_misses"])
+	}
+	if after["cluster_workers_departed"] != 1 {
+		t.Errorf("cluster_workers_departed = %d, want 1", after["cluster_workers_departed"])
+	}
+	if after["cluster_workers_live"] != 1 {
+		t.Errorf("cluster_workers_live = %d, want 1", after["cluster_workers_live"])
+	}
+}
+
+// TestHeartbeatRegistersAndDeregisters: the worker-side heartbeat loop
+// appears in /workers shortly after starting and disappears promptly when
+// its context is cancelled (deregistration, not TTL expiry).
+func TestHeartbeatRegistersAndDeregisters(t *testing.T) {
+	c := NewCoordinator(Config{HeartbeatEvery: 20 * time.Millisecond, HeartbeatMiss: 3})
+	defer c.Close()
+	hs := httptest.NewServer(c.Handler())
+	defer hs.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go Heartbeat(ctx, hs.URL, WorkerInfo{ID: "hb1", URL: "http://127.0.0.1:1"}, 10*time.Millisecond)
+
+	listed := func() bool {
+		resp, err := http.Get(hs.URL + "/workers")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Workers []WorkerInfo `json:"workers"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&body) != nil {
+			return false
+		}
+		for _, w := range body.Workers {
+			if w.ID == "hb1" {
+				return true
+			}
+		}
+		return false
+	}
+	waitFor(t, "heartbeat registration", listed)
+	cancel()
+	waitFor(t, "heartbeat deregistration", func() bool { return !listed() })
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Heartbeat registers a worker with the coordinator and keeps re-registering
+// every interval — registration doubles as the heartbeat — until ctx is
+// cancelled, then deregisters so the coordinator stops routing new jobs at a
+// draining worker immediately instead of waiting out the liveness window.
+// The coordinator's advertised interval (heartbeat_seconds in the register
+// response) overrides `every`. Registration errors are retried on the next
+// tick: a worker outliving a coordinator restart re-appears on its own.
+func Heartbeat(ctx context.Context, coordinator string, self WorkerInfo, every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	body, _ := json.Marshal(self)
+
+	register := func() time.Duration {
+		resp, err := client.Post(coordinator+"/register", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0
+		}
+		defer resp.Body.Close()
+		var rr registerResponse
+		if json.NewDecoder(resp.Body).Decode(&rr) == nil && rr.HeartbeatSeconds > 0 {
+			return time.Duration(rr.HeartbeatSeconds * float64(time.Second))
+		}
+		return 0
+	}
+
+	if d := register(); d > 0 {
+		every = d
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			req, err := http.NewRequest(http.MethodDelete,
+				coordinator+"/register/"+url.PathEscape(self.ID), nil)
+			if err == nil {
+				if resp, err := client.Do(req); err == nil {
+					resp.Body.Close()
+				}
+			}
+			return
+		case <-t.C:
+			if d := register(); d > 0 && d != every {
+				every = d
+				t.Reset(every)
+			}
+		}
+	}
+}

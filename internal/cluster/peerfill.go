@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"eventpf/internal/harness"
+	"eventpf/internal/serve"
+)
+
+// The peer-fill protocol keeps "never simulate the same config twice" true
+// across membership changes:
+//
+//   - When a job completes, the coordinator copies its canonical bytes from
+//     the owner to the next Replicas-1 workers on the key's rendezvous
+//     order (replicate), so losing the owner loses no results.
+//   - When routing a key whose ring owner is not among its known holders —
+//     a worker joined and took over the key, or a failover target is about
+//     to receive it — the coordinator first copies the bytes from any
+//     surviving holder into the new owner (maybePeerFill), so the submit
+//     that follows is a cache hit, not a re-simulation.
+//
+// Holder hints are advisory: losing one costs a worker cache miss (the
+// worker's own suite memo still dedups concurrent repeats), never a wrong
+// result, because the content key pins the bytes to the config.
+
+// addHolder records that a worker holds the cached bytes for a key.
+func (c *Coordinator) addHolder(key, workerID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids, ok := c.holders[key]
+	if !ok {
+		c.holderOrder = append(c.holderOrder, key)
+		for len(c.holderOrder) > c.cfg.KeyHistory {
+			delete(c.holders, c.holderOrder[0])
+			c.holderOrder = c.holderOrder[1:]
+		}
+	}
+	for _, id := range ids {
+		if id == workerID {
+			return
+		}
+	}
+	c.holders[key] = append(ids, workerID)
+}
+
+// holdersOf returns the recorded holders of a key.
+func (c *Coordinator) holdersOf(key string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.holders[key]...)
+}
+
+// dropHolder forgets a stale holder hint (evicted or dead).
+func (c *Coordinator) dropHolder(key, workerID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := c.holders[key]
+	for i, id := range ids {
+		if id == workerID {
+			c.holders[key] = append(ids[:i], ids[i+1:]...)
+			return
+		}
+	}
+}
+
+// maybePeerFill copies a key's cached bytes from a surviving holder into
+// `target` when the target is not yet a holder — the ownership-transfer
+// half of rebalancing. No-op when the key was never completed or the
+// target already has it.
+func (c *Coordinator) maybePeerFill(key string, target WorkerInfo) {
+	holders := c.holdersOf(key)
+	if len(holders) == 0 {
+		return
+	}
+	for _, id := range holders {
+		if id == target.ID {
+			return // already a holder
+		}
+	}
+	for _, id := range holders {
+		src, ok := c.reg.get(id)
+		if !ok {
+			continue // dead holder; tombstoned elsewhere
+		}
+		b, ok := c.cacheFetch(src, key)
+		if !ok {
+			c.dropHolder(key, id) // evicted on that worker; hint was stale
+			continue
+		}
+		if c.cachePush(target, key, b) {
+			c.addHolder(key, target.ID)
+			c.m.peerFills.Add(1)
+			return
+		}
+	}
+	c.m.peerFillErrs.Add(1)
+}
+
+// replicate waits for a routed job to finish (by coalescing onto it with a
+// ?wait=1 duplicate — the worker's in-flight dedup makes this free), then
+// copies the canonical bytes to the key's runner-up replicas. One
+// replication runs per key at a time.
+func (c *Coordinator) replicate(owner WorkerInfo, key string, spec harness.JobSpec) {
+	c.mu.Lock()
+	if c.replicating[key] {
+		c.mu.Unlock()
+		return
+	}
+	c.replicating[key] = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.replicating, key)
+		c.mu.Unlock()
+	}()
+
+	body, _ := json.Marshal(spec)
+	resp, err := c.cfg.Client.Post(owner.URL+"/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return // owner died mid-run; nothing to replicate
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return // failed/unsupported jobs have no result to copy
+	}
+	var sr workerSubmitResponse
+	if json.Unmarshal(raw, &sr) != nil || sr.State != serve.StateDone {
+		return
+	}
+	// Fetch the stored canonical bytes (NOT the inline result, whose
+	// whitespace the JSON envelope re-indents) so replicas serve
+	// byte-identical responses.
+	b, ok := c.cacheFetch(owner, key)
+	if !ok {
+		return
+	}
+	c.addHolder(key, owner.ID)
+	copies := 0
+	for _, wk := range c.rankLive(key) {
+		if wk.ID == owner.ID {
+			continue
+		}
+		if copies >= c.cfg.Replicas-1 {
+			break
+		}
+		if c.cachePush(wk, key, b) {
+			c.addHolder(key, wk.ID)
+			c.m.replications.Add(1)
+		}
+		copies++
+	}
+}
+
+// cacheFetch reads a worker's stored bytes for a content key.
+func (c *Coordinator) cacheFetch(wk WorkerInfo, key string) ([]byte, bool) {
+	resp, err := c.cfg.Client.Get(wk.URL + "/cache/" + key)
+	if err != nil {
+		c.ejectDead(wk, err)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || len(b) == 0 {
+		return nil, false
+	}
+	return b, true
+}
+
+// cachePush writes bytes into a worker's cache under a content key.
+func (c *Coordinator) cachePush(wk WorkerInfo, key string, b []byte) bool {
+	req, err := http.NewRequest(http.MethodPut, wk.URL+"/cache/"+key, bytes.NewReader(b))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		c.ejectDead(wk, err)
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"bufio"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// scrapeLiveWorkers refreshes every live worker's /metrics snapshot in
+// parallel. Scrapes are bounded by ScrapeTimeout so one hung worker cannot
+// stall the merged /metrics view; a failed scrape keeps the previous
+// snapshot (liveness is the heartbeat's job, not the scraper's).
+func (c *Coordinator) scrapeLiveWorkers() {
+	live := c.reg.liveWorkers()
+	if len(live) == 0 {
+		return
+	}
+	client := &http.Client{Timeout: c.cfg.ScrapeTimeout}
+	var wg sync.WaitGroup
+	for _, wk := range live {
+		wg.Add(1)
+		go func(wk WorkerInfo) {
+			defer wg.Done()
+			if m, ok := scrapeMetrics(client, wk.URL); ok {
+				c.reg.setMetrics(wk.ID, m)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+// scrapeMetrics fetches one worker's /metrics and parses its
+// "name value" lines.
+func scrapeMetrics(client *http.Client, baseURL string) (map[string]int64, bool) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	out := map[string]int64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out, true
+}
+
+// fetchFromHolders retrieves a key's canonical result bytes from any live
+// recorded holder — the read path's fallback when the worker that owned the
+// job ID has died but its result was replicated.
+func (c *Coordinator) fetchFromHolders(key string) ([]byte, bool) {
+	for _, id := range c.holdersOf(key) {
+		wk, ok := c.reg.get(id)
+		if !ok {
+			continue
+		}
+		if b, ok := c.cacheFetch(wk, key); ok {
+			return b, true
+		}
+		c.dropHolder(key, id)
+	}
+	return nil, false
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"eventpf/internal/harness"
+)
+
+// TestEventHistoryCompaction: with a small EventHistory cap, a long chain's
+// prefix folds into one synthesized snapshot event, and a late subscriber
+// still reconstructs the job's full state — snapshot first, then a dense,
+// gap-free tail ending in the terminal event.
+func TestEventHistoryCompaction(t *testing.T) {
+	srv := NewServer(Config{Workers: 1, QueueDepth: 2, EventHistory: 8})
+	srv.SetRunner(func(jb *Job) ([]byte, error) {
+		for i := 1; i <= 40; i++ {
+			jb.Publish(ProgressEvent{State: StateRunning, Phase: "simulating", Events: int64(i * 10), SimTicks: int64(i)})
+		}
+		return []byte("{\"stub\":true}\n"), nil
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	resp, sr := postJob(t, hs.URL, harness.JobSpec{Bench: "HJ-2", Scheme: "no-pf", Scale: 0.01}, "?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	// Chain published: queued(0), running/starting(1), 40 progress events
+	// (2..41), done(42) — 43 events total, far over the cap of 8.
+	resp2, err := http.Get(hs.URL + "/jobs/" + sr.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := readSSE(t, resp2)
+
+	if len(events) != 9 {
+		t.Fatalf("late subscriber got %d events, want 9 (snapshot + 8 retained): %+v", len(events), events)
+	}
+	snap := events[0]
+	if !snap.Snapshot {
+		t.Fatalf("first replayed event is not the snapshot: %+v", snap)
+	}
+	if snap.Seq != 34 {
+		t.Errorf("snapshot seq = %d, want 34 (covers events 0..34)", snap.Seq)
+	}
+	if snap.State != StateRunning || snap.Events != 330 {
+		t.Errorf("snapshot did not fold the compacted prefix: state=%s events=%d, want running/330", snap.State, snap.Events)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("gap in the replayed chain at %d: %+v", i, events)
+		}
+		if events[i].Snapshot {
+			t.Errorf("retained tail contains a snapshot event at %d", i)
+		}
+	}
+	last := events[len(events)-1]
+	if last.State != StateDone || last.Seq != 42 {
+		t.Errorf("chain ends with %s at seq %d, want done at 42", last.State, last.Seq)
+	}
+	// Reconstructed progress: the tail's freshest totals survive compaction.
+	var maxEvents int64
+	for _, ev := range events {
+		if ev.Events > maxEvents {
+			maxEvents = ev.Events
+		}
+	}
+	if maxEvents != 400 {
+		t.Errorf("reconstructed progress = %d events, want 400", maxEvents)
+	}
+	// Job status still reports the full (logical) chain length.
+	st, err := http.Get(hs.URL + "/jobs/" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(st.Body)
+	st.Body.Close()
+	if !strings.Contains(string(b), "\"progress_events\": 43") {
+		t.Errorf("job status lost the logical chain length: %s", b)
+	}
+}
+
+// TestCacheLRUEvictionOrder pins the eviction policy: least-recently-USED
+// leaves first (a get refreshes recency), and every eviction increments the
+// /metrics counter.
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	srv := NewServer(Config{CacheEntries: 2})
+	k1 := strings.Repeat("1", 64)
+	k2 := strings.Repeat("2", 64)
+	k3 := strings.Repeat("3", 64)
+
+	srv.CachePut(k1, []byte("r1"))
+	srv.CachePut(k2, []byte("r2"))
+	if _, ok := srv.CacheGet(k1); !ok { // refresh k1: k2 becomes LRU
+		t.Fatal("k1 missing before eviction")
+	}
+	srv.CachePut(k3, []byte("r3")) // over the entry cap: k2 must go
+
+	if _, ok := srv.CacheGet(k2); ok {
+		t.Error("k2 survived eviction but was least recently used")
+	}
+	if _, ok := srv.CacheGet(k1); !ok {
+		t.Error("k1 evicted despite being refreshed")
+	}
+	if _, ok := srv.CacheGet(k3); !ok {
+		t.Error("k3 missing right after insertion")
+	}
+
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	m := scrapeMetrics(t, hs.URL)
+	if m["ppfserve_cache_evictions"] != 1 {
+		t.Errorf("cache_evictions = %d, want 1", m["ppfserve_cache_evictions"])
+	}
+	if m["ppfserve_cache_entries"] != 2 {
+		t.Errorf("cache_entries = %d, want 2", m["ppfserve_cache_entries"])
+	}
+}
+
+// TestCacheByteBound: the byte cap evicts LRU-last, but a single entry
+// larger than the cap stays resident instead of thrashing.
+func TestCacheByteBound(t *testing.T) {
+	srv := NewServer(Config{CacheBytes: 10})
+	big := strings.Repeat("b", 64)
+	small := strings.Repeat("s", 64)
+
+	srv.CachePut(big, bytes.Repeat([]byte("x"), 20)) // alone over the cap: retained
+	if _, ok := srv.CacheGet(big); !ok {
+		t.Fatal("oversized sole entry was evicted instead of retained")
+	}
+	srv.CachePut(small, []byte("tiny")) // now the total is over: big (LRU) goes
+	if _, ok := srv.CacheGet(big); ok {
+		t.Error("big entry survived the byte bound with a newer entry present")
+	}
+	if _, ok := srv.CacheGet(small); !ok {
+		t.Error("small entry missing after eviction pass")
+	}
+
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	m := scrapeMetrics(t, hs.URL)
+	if m["ppfserve_cache_bytes"] != 4 {
+		t.Errorf("cache_bytes = %d, want 4", m["ppfserve_cache_bytes"])
+	}
+}
+
+// TestCachePeerFillEndpoints: the GET/PUT /cache/{key} pair the cluster's
+// peer-fill protocol rides on. A filled key turns the next submit of the
+// matching spec into a cache hit — no simulation runs.
+func TestCachePeerFillEndpoints(t *testing.T) {
+	srv := NewServer(Config{Workers: 1, QueueDepth: 2})
+	ran := false
+	srv.SetRunner(func(jb *Job) ([]byte, error) {
+		ran = true
+		return []byte("{\"stub\":true}\n"), nil
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	spec := harness.JobSpec{Bench: "HJ-2", Scheme: "no-pf", Scale: 0.01}
+	resolved, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := resolved.Key()
+	canonical := []byte("{\"peer\":\"filled\"}\n")
+
+	// Missing key → 404; malformed key → 400.
+	if resp, _ := http.Get(hs.URL + "/cache/" + key); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET of unfilled key: status %d, want 404", resp.StatusCode)
+	}
+	badPut, _ := http.NewRequest(http.MethodPut, hs.URL+"/cache/short", bytes.NewReader(canonical))
+	if resp, err := http.DefaultClient.Do(badPut); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("PUT with short key: %v status %d, want 400", err, resp.StatusCode)
+	}
+
+	put, _ := http.NewRequest(http.MethodPut, hs.URL+"/cache/"+key, bytes.NewReader(canonical))
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT /cache: %v status %d", err, resp.StatusCode)
+	}
+
+	got, err := http.Get(hs.URL + "/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(got.Body)
+	got.Body.Close()
+	if !bytes.Equal(b, canonical) {
+		t.Errorf("GET /cache returned %q, want the PUT bytes", b)
+	}
+
+	resp2, sr := postJob(t, hs.URL, spec, "")
+	if resp2.StatusCode != http.StatusOK || !sr.Cached {
+		t.Errorf("submit after peer fill: status %d cached=%v, want a cache hit", resp2.StatusCode, sr.Cached)
+	}
+	if ran {
+		t.Error("simulation ran despite the peer-filled cache entry")
+	}
+
+	m := scrapeMetrics(t, hs.URL)
+	if m["ppfserve_cache_fills"] != 1 {
+		t.Errorf("cache_fills = %d, want 1", m["ppfserve_cache_fills"])
+	}
+}

@@ -10,7 +10,7 @@
 package serve
 
 import (
-	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,14 +31,17 @@ const (
 	StateRejected State = "rejected" // dropped from the queue (drain or cancel)
 )
 
-// terminal reports whether no further transitions can happen.
-func (s State) terminal() bool {
+// Terminal reports whether no further transitions can happen. Exported so
+// the cluster coordinator can recognise the end of a proxied SSE stream.
+func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateRejected
 }
 
 // ProgressEvent is one entry of a job's ordered progress chain, streamed to
 // SSE subscribers. Seq is dense and starts at 0 (the "queued" event), so a
-// client can detect gaps; a late subscriber replays the whole chain.
+// client can detect gaps; a late subscriber replays the retained chain,
+// preceded by a synthesized snapshot event when the oldest entries have
+// been compacted away (Snapshot true, Seq = last compacted seq).
 type ProgressEvent struct {
 	Seq   int64 `json:"seq"`
 	State State `json:"state"`
@@ -50,6 +53,10 @@ type ProgressEvent struct {
 	Events   int64  `json:"events,omitempty"`
 	SimTicks int64  `json:"sim_ticks,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Snapshot marks a synthesized event folding every compacted entry up
+	// to and including Seq: its State/Events/SimTicks are the latest values
+	// the dropped prefix reached.
+	Snapshot bool `json:"snapshot,omitempty"`
 }
 
 // Job is one admitted simulation request and its runtime state. The spec is
@@ -61,42 +68,55 @@ type Job struct {
 
 	resolved harness.Job
 
-	mu       sync.Mutex
-	state    State
-	errMsg   string
-	result   []byte // canonical harness.EncodeResult bytes, set when done
+	mu     sync.Mutex
+	state  State
+	errMsg string
+	result []byte // canonical harness.EncodeResult bytes, set when done
+	// events is the retained tail of the progress chain: seqs
+	// [firstSeq, nextSeq). Older entries are folded into snap so a long
+	// sweep cannot grow job memory without bound.
 	events   []ProgressEvent
+	firstSeq int64
+	nextSeq  int64
+	snap     *ProgressEvent // folded prefix [0, firstSeq); nil until compaction
+	histCap  int
 	subs     map[chan ProgressEvent]struct{}
 	created  time.Time
 	started  time.Time
 	finished time.Time
 }
 
-func newJob(id string, spec harness.JobSpec, resolved harness.Job, now time.Time) *Job {
+func newJob(id string, spec harness.JobSpec, resolved harness.Job, now time.Time, histCap int) *Job {
 	j := &Job{
 		ID:       id,
 		Key:      resolved.Key(),
 		Spec:     spec,
 		resolved: resolved,
 		state:    StateQueued,
+		histCap:  histCap,
 		subs:     map[chan ProgressEvent]struct{}{},
 		created:  now,
 	}
-	j.publish(ProgressEvent{State: StateQueued})
+	j.Publish(ProgressEvent{State: StateQueued})
 	return j
 }
 
-// publish appends the next event of the chain (assigning its Seq) and fans
-// it out to subscribers. Callers must NOT hold j.mu.
-func (j *Job) publish(ev ProgressEvent) {
+// Publish appends the next event of the chain (assigning its Seq) and fans
+// it out to subscribers. Callers must NOT hold j.mu. Exported so cluster
+// tests and custom runners (SetRunner) can emit progress.
+func (j *Job) Publish(ev ProgressEvent) {
 	j.mu.Lock()
-	ev.Seq = int64(len(j.events))
+	ev.Seq = j.nextSeq
+	j.nextSeq++
 	j.events = append(j.events, ev)
 	if ev.State != "" {
 		j.state = ev.State
 	}
 	if ev.Error != "" {
 		j.errMsg = ev.Error
+	}
+	if j.histCap > 0 && len(j.events) > j.histCap {
+		j.compactLocked()
 	}
 	var subs []chan ProgressEvent
 	for ch := range j.subs {
@@ -114,12 +134,70 @@ func (j *Job) publish(ev ProgressEvent) {
 	}
 }
 
+// compactLocked folds the oldest events beyond the history cap into the
+// snapshot event, keeping the chain's tail exact and its prefix summarised.
+// Callers hold j.mu.
+func (j *Job) compactLocked() {
+	drop := len(j.events) - j.histCap
+	snap := ProgressEvent{}
+	if j.snap != nil {
+		snap = *j.snap
+	}
+	for _, ev := range j.events[:drop] {
+		if ev.State != "" {
+			snap.State = ev.State
+		}
+		if ev.Phase != "" && !ev.Snapshot {
+			snap.Phase = ev.Phase
+		}
+		if ev.Events > snap.Events {
+			snap.Events = ev.Events
+		}
+		if ev.SimTicks > snap.SimTicks {
+			snap.SimTicks = ev.SimTicks
+		}
+		if ev.Error != "" {
+			snap.Error = ev.Error
+		}
+	}
+	j.firstSeq += int64(drop)
+	snap.Seq = j.firstSeq - 1
+	snap.Snapshot = true
+	j.snap = &snap
+	j.events = append(j.events[:0], j.events[drop:]...)
+}
+
+// replayFromLocked returns every retained event with seq >= from, preceded
+// by the snapshot event when `from` predates the retained tail. Callers
+// hold j.mu; the returned slice is freshly allocated.
+func (j *Job) replayFromLocked(from int64) []ProgressEvent {
+	var out []ProgressEvent
+	if j.snap != nil && from <= j.snap.Seq {
+		out = append(out, *j.snap)
+		from = j.firstSeq
+	}
+	if from < j.firstSeq {
+		from = j.firstSeq
+	}
+	if idx := from - j.firstSeq; idx < int64(len(j.events)) {
+		out = append(out, j.events[idx:]...)
+	}
+	return out
+}
+
+// replayFrom is replayFromLocked with locking.
+func (j *Job) replayFrom(from int64) []ProgressEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replayFromLocked(from)
+}
+
 // subscribe registers a new subscriber and returns the replay of everything
-// published so far; the channel receives all later events.
+// retained so far; the channel receives all later events.
 func (j *Job) subscribe() (<-chan ProgressEvent, []ProgressEvent, func()) {
 	ch := make(chan ProgressEvent, 64)
 	j.mu.Lock()
-	replay := append([]ProgressEvent(nil), j.events...)
+	replay := j.replayFromLocked(0)
 	j.subs[ch] = struct{}{}
 	j.mu.Unlock()
 	cancel := func() {
@@ -140,7 +218,7 @@ func (j *Job) snapshot() JobStatus {
 		Spec:   j.Spec,
 		State:  j.state,
 		Error:  j.errMsg,
-		Events: int64(len(j.events)),
+		Events: j.nextSeq,
 	}
 	if !j.started.IsZero() && !j.finished.IsZero() {
 		st.RunSeconds = j.finished.Sub(j.started).Seconds()
@@ -159,7 +237,7 @@ type JobStatus struct {
 	RunSeconds float64         `json:"run_seconds,omitempty"`
 }
 
-// state returns the current state under the lock.
+// currentState returns the current state under the lock.
 func (j *Job) currentState() State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -180,4 +258,4 @@ func (j *Job) resultBytes() []byte {
 	return j.result
 }
 
-func jobID(n uint64) string { return fmt.Sprintf("j%d", n) }
+func jobID(prefix string, n uint64) string { return prefix + strconv.FormatUint(n, 10) }

@@ -23,6 +23,8 @@ type metrics struct {
 	deduped              atomic.Int64 // coalesced onto an in-flight job
 	cacheHits            atomic.Int64 // served straight from the result cache
 	cacheMisses          atomic.Int64 // admitted for simulation
+	cacheEvictions       atomic.Int64 // entries pushed out by the LRU bound
+	cacheFills           atomic.Int64 // entries inserted via PUT /cache (peer fill / replication)
 	inflight             atomic.Int64 // jobs currently simulating
 	draining             atomic.Bool
 }

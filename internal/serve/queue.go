@@ -42,7 +42,7 @@ func (s *Server) dispatch(jb *Job) {
 	jb.mu.Lock()
 	jb.started = time.Now()
 	jb.mu.Unlock()
-	jb.publish(ProgressEvent{State: StateRunning, Phase: "starting"})
+	jb.Publish(ProgressEvent{State: StateRunning, Phase: "starting"})
 
 	result, err := s.runJob(jb)
 
@@ -63,7 +63,7 @@ func (s *Server) dispatch(jb *Job) {
 		jb.setResult(result)
 		s.storeResult(jb, result)
 		s.m.completed.Add(1)
-		jb.publish(ProgressEvent{State: StateDone, Phase: "oracle-checked"})
+		jb.Publish(ProgressEvent{State: StateDone, Phase: "oracle-checked"})
 	}
 }
 
@@ -78,7 +78,7 @@ func (s *Server) finishJob(jb *Job, st State, msg string) {
 	if st == StateFailed {
 		s.m.failed.Add(1)
 	}
-	jb.publish(ProgressEvent{State: st, Error: msg})
+	jb.Publish(ProgressEvent{State: st, Error: msg})
 }
 
 // simulate is the production runJob: one suite measurement with the job's
@@ -91,7 +91,7 @@ func (s *Server) simulate(jb *Job) ([]byte, error) {
 	inst := &harness.Instrument{
 		Sink:    sink,
 		Metrics: reg,
-		Started: func() { jb.publish(ProgressEvent{State: StateRunning, Phase: "simulating"}) },
+		Started: func() { jb.Publish(ProgressEvent{State: StateRunning, Phase: "simulating"}) },
 	}
 	res, err := s.suite.RunInstrumented(context.Background(), jb.resolved.Pair(), inst)
 	if err != nil {

@@ -64,7 +64,7 @@ func waitState(t *testing.T, jb *Job, want State) {
 		if st == want {
 			return
 		}
-		if st.terminal() {
+		if st.Terminal() {
 			t.Fatalf("job reached terminal state %s while waiting for %s", st, want)
 		}
 		time.Sleep(2 * time.Millisecond)
@@ -374,7 +374,7 @@ func TestSSEChainOrder(t *testing.T) {
 	srv.runJob = func(jb *Job) ([]byte, error) {
 		<-gate // hold until the subscriber attached
 		for i := 1; i <= 5; i++ {
-			jb.publish(ProgressEvent{State: StateRunning, Phase: "simulating", Events: int64(i * 100)})
+			jb.Publish(ProgressEvent{State: StateRunning, Phase: "simulating", Events: int64(i * 100)})
 		}
 		return []byte("{\"stub\":true}\n"), nil
 	}

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -26,15 +28,25 @@ type Config struct {
 	// MaxScale rejects jobs above this input scale so one request cannot
 	// monopolise the service (default 1.0).
 	MaxScale float64
-	// CacheEntries caps the content-addressed result cache (default 4096;
-	// entries are small canonical JSON blobs, evicted FIFO).
+	// CacheEntries caps the content-addressed result cache entry count
+	// (default 4096; eviction is LRU).
 	CacheEntries int
+	// CacheBytes caps the cache's total stored bytes (default 256 MiB;
+	// eviction is LRU, but a single entry larger than the cap is retained
+	// rather than thrashed).
+	CacheBytes int64
 	// JobHistory caps how many terminal jobs stay queryable by ID
 	// (default 1024).
 	JobHistory int
+	// EventHistory caps each job's retained progress chain; older events
+	// fold into one synthesized snapshot event (default 256).
+	EventHistory int
 	// ProgressEvery publishes one SSE progress event per this many machine
 	// trace events (default 65536).
 	ProgressEvery int64
+	// IDPrefix prefixes every job ID (default "j"). Cluster workers use
+	// their worker name so IDs stay unique across the fleet.
+	IDPrefix string
 }
 
 func (c Config) withDefaults() Config {
@@ -53,18 +65,28 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 4096
 	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
 	if c.JobHistory <= 0 {
 		c.JobHistory = 1024
 	}
+	if c.EventHistory <= 0 {
+		c.EventHistory = 256
+	}
 	if c.ProgressEvery <= 0 {
 		c.ProgressEvery = 1 << 16
+	}
+	if c.IDPrefix == "" {
+		c.IDPrefix = "j"
 	}
 	return c
 }
 
 // cacheEntry is one content-addressed result: the canonical bytes plus the
-// job that produced them.
+// job that produced them (empty for peer-filled entries).
 type cacheEntry struct {
+	key   string
 	bytes []byte
 	jobID string
 }
@@ -80,21 +102,23 @@ type Server struct {
 	m     metrics
 	sim   *simAggregate
 
-	// runJob performs one admitted simulation; tests substitute a stub so
-	// queue/drain/SSE behaviour is checkable without real simulations.
+	// runJob performs one admitted simulation; tests and cluster stubs
+	// substitute it via SetRunner so queue/drain/SSE behaviour is checkable
+	// without real simulations.
 	runJob func(*Job) ([]byte, error)
 
-	mu        sync.Mutex
-	seq       uint64
-	jobs      map[string]*Job
-	jobOrder  []string
-	byKey     map[string]*Job // queued or running job per content key
-	cache     map[string]cacheEntry
-	cacheFIFO []string
-	queue     chan *Job
-	draining  bool
-	drained   chan struct{} // closed when Drain finishes
-	ewmaRunNs int64         // smoothed job duration, feeds Retry-After
+	mu         sync.Mutex
+	seq        uint64
+	jobs       map[string]*Job
+	jobOrder   []string
+	byKey      map[string]*Job // queued or running job per content key
+	cache      map[string]*list.Element
+	cacheLRU   *list.List // front = most recently used *cacheEntry
+	cacheBytes int64
+	queue      chan *Job
+	draining   bool
+	drained    chan struct{} // closed when Drain finishes
+	ewmaRunNs  int64         // smoothed job duration, feeds Retry-After
 
 	workerWG sync.WaitGroup
 }
@@ -103,14 +127,15 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		suite:   harness.NewSuite(harness.Options{Parallel: cfg.Workers}),
-		jobs:    map[string]*Job{},
-		byKey:   map[string]*Job{},
-		cache:   map[string]cacheEntry{},
-		queue:   make(chan *Job, cfg.QueueDepth),
-		drained: make(chan struct{}),
-		sim:     newSimAggregate(),
+		cfg:      cfg,
+		suite:    harness.NewSuite(harness.Options{Parallel: cfg.Workers}),
+		jobs:     map[string]*Job{},
+		byKey:    map[string]*Job{},
+		cache:    map[string]*list.Element{},
+		cacheLRU: list.New(),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		drained:  make(chan struct{}),
+		sim:      newSimAggregate(),
 	}
 	s.runJob = s.simulate
 	s.mux = http.NewServeMux()
@@ -119,6 +144,8 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /cache/{key}", s.handleCachePut)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -128,6 +155,12 @@ func NewServer(cfg Config) *Server {
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetRunner replaces the function that executes admitted jobs. Production
+// keeps the built-in simulator; cluster and queue tests substitute stubs
+// (which may call Job.Publish to emit progress). Call before serving
+// traffic.
+func (s *Server) SetRunner(run func(*Job) ([]byte, error)) { s.runJob = run }
 
 // submitResponse is the POST /jobs response body.
 type submitResponse struct {
@@ -191,7 +224,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	key := resolved.Key()
 
 	s.mu.Lock()
-	if e, ok := s.cache[key]; ok {
+	if e, ok := s.cacheGetLocked(key); ok {
 		s.m.cacheHits.Add(1)
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, submitResponse{
@@ -212,7 +245,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.seq++
-	jb := newJob(jobID(s.seq), spec, resolved, time.Now())
+	jb := newJob(jobID(s.cfg.IDPrefix, s.seq), spec, resolved, time.Now(), s.cfg.EventHistory)
 	select {
 	case s.queue <- jb:
 		s.m.cacheMisses.Add(1)
@@ -249,7 +282,7 @@ func (s *Server) respondMaybeWait(w http.ResponseWriter, r *http.Request, jb *Jo
 			st = ev.State
 		}
 	}
-	for !st.terminal() {
+	for !st.Terminal() {
 		select {
 		case ev := <-ch:
 			if ev.State != "" {
@@ -322,6 +355,57 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jb.snapshot())
 }
 
+// handleCacheGet serves the raw cached bytes for a content key — the peer
+// half of the cluster's peer-fill protocol. A hit refreshes LRU recency.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.CacheGet(r.PathValue("key"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no cached result for that key"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+// handleCachePut inserts externally produced canonical bytes under a
+// content key. The cluster coordinator uses it to replicate results and to
+// fill a newly-responsible worker from the previous owner, so rebalancing
+// never re-runs a sweep.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if len(key) != 64 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "key must be a hex SHA-256 content address"})
+		return
+	}
+	b, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil || len(b) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty or unreadable body"})
+		return
+	}
+	s.CachePut(key, b)
+	s.m.cacheFills.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// CacheGet returns the cached canonical bytes for a content key, if
+// present, refreshing its LRU recency.
+func (s *Server) CacheGet(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cacheGetLocked(key)
+	if !ok {
+		return nil, false
+	}
+	return e.bytes, true
+}
+
+// CachePut inserts canonical bytes under a content key (first write wins).
+func (s *Server) CachePut(key string, b []byte) {
+	s.mu.Lock()
+	s.cachePutLocked(key, b, "")
+	s.mu.Unlock()
+}
+
 func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{
 		"benchmarks": workloads.Names(),
@@ -343,7 +427,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.mu.Lock()
 	queueDepth := len(s.queue)
-	cacheEntries := len(s.cache)
+	cacheEntries := s.cacheLRU.Len()
+	cacheBytes := s.cacheBytes
 	s.mu.Unlock()
 	memoHits, memoMisses := s.suite.MemoStats()
 	drain := int64(0)
@@ -364,7 +449,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ppfserve_jobs_inflight", s.m.inflight.Load()},
 		{"ppfserve_cache_hits", s.m.cacheHits.Load()},
 		{"ppfserve_cache_misses", s.m.cacheMisses.Load()},
+		{"ppfserve_cache_evictions", s.m.cacheEvictions.Load()},
+		{"ppfserve_cache_fills", s.m.cacheFills.Load()},
 		{"ppfserve_cache_entries", int64(cacheEntries)},
+		{"ppfserve_cache_bytes", cacheBytes},
 		{"ppfserve_queue_depth", int64(queueDepth)},
 		{"ppfserve_queue_capacity", int64(s.cfg.QueueDepth)},
 		{"ppfserve_workers", int64(s.cfg.Workers)},
@@ -384,7 +472,7 @@ func (s *Server) evictJobsLocked() {
 		evicted := false
 		for i, id := range s.jobOrder {
 			jb := s.jobs[id]
-			if jb != nil && !jb.currentState().terminal() {
+			if jb != nil && !jb.currentState().Terminal() {
 				continue
 			}
 			delete(s.jobs, id)
@@ -398,18 +486,43 @@ func (s *Server) evictJobsLocked() {
 	}
 }
 
+// cacheGetLocked looks a key up and refreshes its recency. Callers hold s.mu.
+func (s *Server) cacheGetLocked(key string) (*cacheEntry, bool) {
+	el, ok := s.cache[key]
+	if !ok {
+		return nil, false
+	}
+	s.cacheLRU.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// cachePutLocked inserts an entry (first write wins) and evicts LRU-last
+// past the entry and byte caps. A single entry above the byte cap stays
+// resident rather than thrashing. Callers hold s.mu.
+func (s *Server) cachePutLocked(key string, b []byte, jobID string) {
+	if el, ok := s.cache[key]; ok {
+		s.cacheLRU.MoveToFront(el)
+		return
+	}
+	el := s.cacheLRU.PushFront(&cacheEntry{key: key, bytes: b, jobID: jobID})
+	s.cache[key] = el
+	s.cacheBytes += int64(len(b))
+	for s.cacheLRU.Len() > 1 &&
+		(s.cacheLRU.Len() > s.cfg.CacheEntries || s.cacheBytes > s.cfg.CacheBytes) {
+		back := s.cacheLRU.Back()
+		e := back.Value.(*cacheEntry)
+		s.cacheLRU.Remove(back)
+		delete(s.cache, e.key)
+		s.cacheBytes -= int64(len(e.bytes))
+		s.m.cacheEvictions.Add(1)
+	}
+}
+
 // storeResult publishes a completed job's canonical bytes into the
-// content-addressed cache, evicting FIFO beyond the cap.
+// content-addressed cache.
 func (s *Server) storeResult(jb *Job, b []byte) {
 	s.mu.Lock()
-	if _, ok := s.cache[jb.Key]; !ok {
-		s.cache[jb.Key] = cacheEntry{bytes: b, jobID: jb.ID}
-		s.cacheFIFO = append(s.cacheFIFO, jb.Key)
-		for len(s.cacheFIFO) > s.cfg.CacheEntries {
-			delete(s.cache, s.cacheFIFO[0])
-			s.cacheFIFO = s.cacheFIFO[1:]
-		}
-	}
+	s.cachePutLocked(jb.Key, b, jb.ID)
 	delete(s.byKey, jb.Key)
 	s.mu.Unlock()
 }

@@ -26,7 +26,7 @@ func (p *progressSink) Event(e trace.Event) {
 		p.fills++
 	}
 	if p.n%p.every == 0 {
-		p.job.publish(ProgressEvent{
+		p.job.Publish(ProgressEvent{
 			State:    StateRunning,
 			Phase:    "simulating",
 			Events:   p.n,
@@ -36,8 +36,9 @@ func (p *progressSink) Event(e trace.Event) {
 }
 
 // handleEvents streams a job's progress chain as Server-Sent Events. The
-// chain replays from seq 0, so a subscriber attaching at any point sees
-// every transition in order; the stream ends after the terminal event.
+// retained chain replays first (preceded by a snapshot event when old
+// entries were compacted), so a subscriber attaching at any point can
+// reconstruct the job's state; the stream ends after the terminal event.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	jb, ok := s.lookup(r.PathValue("id"))
 	if !ok {
@@ -57,17 +58,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	ch, replay, cancel := jb.subscribe()
 	defer cancel()
 
-	// next is the seq the client expects; replay covers everything already
-	// published, the channel everything after. Events the buffered channel
-	// dropped for a slow client are resent from the job's log.
+	// next is the lowest seq the client still needs; replay covers
+	// everything retained, the channel everything after. Events the buffered
+	// channel dropped for a slow client are resent from the job's log (or
+	// summarised by its snapshot if they were compacted meanwhile).
 	next := int64(0)
 	send := func(ev ProgressEvent) bool {
 		if ev.Seq < next {
 			return false // duplicate of a replayed event
 		}
-		writeSSE(w, ev)
+		WriteSSE(w, ev)
 		next = ev.Seq + 1
-		return ev.State.terminal()
+		return ev.State.Terminal()
 	}
 	for _, ev := range replay {
 		if send(ev) {
@@ -81,16 +83,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case ev := <-ch:
 			if ev.Seq > next {
 				// The channel dropped events while we weren't listening;
-				// refetch the gap from the job's log.
-				jb.mu.Lock()
-				gap := append([]ProgressEvent(nil), jb.events[next:ev.Seq]...)
-				jb.mu.Unlock()
-				for _, g := range gap {
+				// refetch the gap (and ev itself) from the job's log.
+				for _, g := range jb.replayFrom(next) {
 					if send(g) {
 						fl.Flush()
 						return
 					}
 				}
+				fl.Flush()
+				continue
 			}
 			terminal := send(ev)
 			fl.Flush()
@@ -103,9 +104,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeSSE renders one event in SSE wire format: id is the chain seq,
-// event the job state, data the full JSON record.
-func writeSSE(w http.ResponseWriter, ev ProgressEvent) {
+// WriteSSE renders one event in SSE wire format: id is the chain seq,
+// event the job state, data the full JSON record. Exported so the cluster
+// coordinator re-emits proxied events in the identical format.
+func WriteSSE(w http.ResponseWriter, ev ProgressEvent) {
 	data, _ := json.Marshal(ev)
 	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.State, data)
 }

@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# bench_diff.sh — compare two BENCH_*.json files produced by scripts/bench.sh
+# and print per-benchmark metric deltas, so the bench trajectory recorded in
+# the repo root is actually consumable.
+#
+# Usage:
+#   scripts/bench_diff.sh BENCH_20260101.json BENCH_20260806.json
+#
+# The meta stamp (git SHA, date, Go version) of both files heads the report;
+# a non-matching Go version is called out, since allocation counts and
+# timings are only honestly comparable on the same toolchain. ns/op deltas
+# beyond ±2% are marked; paper-fidelity metrics (geomeans, hit rates, …) are
+# printed whenever both files carry them.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+
+python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+old_path, new_path = sys.argv[1:3]
+
+def load(path):
+    doc = json.load(open(path))
+    if isinstance(doc, list):  # pre-meta-stamp format: a bare benchmark list
+        return {"meta": {}, "benchmarks": doc}
+    return doc
+
+old, new = load(old_path), load(new_path)
+
+def meta_line(path, doc):
+    m = doc.get("meta", {})
+    return f"  {path}: sha={m.get('git_sha', '?')} date={m.get('date', '?')} go={m.get('go_version', '?')}"
+
+print("bench_diff:")
+print(meta_line(old_path, old))
+print(meta_line(new_path, new))
+og, ng = old.get("meta", {}).get("go_version"), new.get("meta", {}).get("go_version")
+if og and ng and og != ng:
+    print(f"  WARNING: different Go versions ({og} vs {ng}) — deltas include toolchain drift")
+print()
+
+by_name_old = {b["name"]: b for b in old.get("benchmarks", [])}
+by_name_new = {b["name"]: b for b in new.get("benchmarks", [])}
+
+def fmt_ns(ns):
+    if ns >= 1e9: return f"{ns/1e9:.2f}s"
+    if ns >= 1e6: return f"{ns/1e6:.2f}ms"
+    if ns >= 1e3: return f"{ns/1e3:.2f}µs"
+    return f"{ns:.0f}ns"
+
+width = max((len(n) for n in by_name_new), default=10)
+print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  {'delta':>8}  other metric deltas")
+for name in sorted(set(by_name_old) | set(by_name_new)):
+    if name not in by_name_old:
+        print(f"{name:<{width}}  {'-':>10}  {fmt_ns(by_name_new[name]['metrics'].get('ns/op', 0)):>10}  {'NEW':>8}")
+        continue
+    if name not in by_name_new:
+        print(f"{name:<{width}}  {fmt_ns(by_name_old[name]['metrics'].get('ns/op', 0)):>10}  {'-':>10}  {'GONE':>8}")
+        continue
+    om, nm = by_name_old[name]["metrics"], by_name_new[name]["metrics"]
+    o_ns, n_ns = om.get("ns/op"), nm.get("ns/op")
+    if o_ns and n_ns:
+        pct = (n_ns - o_ns) / o_ns * 100
+        mark = "" if abs(pct) <= 2 else ("  <-- slower" if pct > 0 else "  <-- faster")
+        delta = f"{pct:+.1f}%"
+    else:
+        delta, mark = "?", ""
+    extras = []
+    for k in sorted(set(om) & set(nm)):
+        if k in ("ns/op",) or not isinstance(om[k], (int, float)) or om[k] == 0:
+            continue
+        epct = (nm[k] - om[k]) / om[k] * 100
+        if abs(epct) > 0.05:
+            extras.append(f"{k} {epct:+.1f}%")
+    print(f"{name:<{width}}  {fmt_ns(o_ns or 0):>10}  {fmt_ns(n_ns or 0):>10}  {delta:>8}{mark}  {' '.join(extras)}")
+EOF
