@@ -16,11 +16,21 @@ import (
 )
 
 // benchScale keeps `go test -bench=.` to minutes; cmd/ppftables exposes the
-// same experiments at any scale.
-const benchScale = 0.05
+// same experiments at any scale. Under -short (the CI perf job) every figure
+// benchmark drops to benchScaleShort, trading absolute fidelity for a run
+// that finishes in well under a minute — the resulting metrics are only
+// compared against other -short runs, so the comparison stays sound.
+const (
+	benchScale      = 0.05
+	benchScaleShort = 0.01
+)
 
 func suite() *eventpf.Suite {
-	return eventpf.NewSuite(eventpf.Options{Scale: benchScale})
+	scale := benchScale
+	if testing.Short() {
+		scale = benchScaleShort
+	}
+	return eventpf.NewSuite(eventpf.Options{Scale: scale})
 }
 
 // BenchmarkTable1Config reports the Table 1 machine configuration (a

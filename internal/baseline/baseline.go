@@ -30,11 +30,33 @@ type issuer struct {
 	queue   []uint64
 	limit   int
 	pumping bool
+	transH  issuerTransHandler
 	stats   IssuerStats
+}
+
+// issuerTransHandler receives the queued prefetch's translation; a is the
+// target address (one translation in flight at a time, so the address rides
+// in the event payload and no record table is needed).
+type issuerTransHandler struct{ is *issuer }
+
+func (h issuerTransHandler) Handle(_ sim.Ticks, a, ok uint64) {
+	is := h.is
+	is.pumping = false
+	if ok == 0 {
+		is.stats.TLBDrops++
+	} else if is.l1.FreeMSHRs() > 0 {
+		is.stats.Issued++
+		req := is.l1.Pool.Get()
+		req.Addr, req.Kind, req.PC = a, mem.Prefetch, -1
+		req.Tag, req.TimedAt = mem.NoTag, -1
+		is.l1.Access(req)
+	}
+	is.pump()
 }
 
 func newIssuer(eng *sim.Engine, l1 *mem.Cache, tlb *mem.TLB, limit int) *issuer {
 	is := &issuer{eng: eng, l1: l1, tlb: tlb, limit: limit}
+	is.transH.is = is
 	prev := l1.OnMSHRFree
 	l1.OnMSHRFree = func() {
 		if prev != nil {
@@ -61,18 +83,9 @@ func (is *issuer) pump() {
 	}
 	is.pumping = true
 	addr := is.queue[0]
-	is.queue = is.queue[1:]
-	is.tlb.Translate(addr, func(ok bool) {
-		is.pumping = false
-		if !ok {
-			is.stats.TLBDrops++
-		} else if is.l1.FreeMSHRs() > 0 {
-			is.stats.Issued++
-			is.l1.Access(&mem.Request{Addr: addr, Kind: mem.Prefetch, PC: -1,
-				Tag: mem.NoTag, TimedAt: -1})
-		}
-		is.pump()
-	})
+	n := copy(is.queue, is.queue[1:])
+	is.queue = is.queue[:n]
+	is.tlb.TranslateTo(addr, is.transH, addr)
 }
 
 // StrideConfig sizes the reference prediction table.

@@ -59,8 +59,10 @@ type Config struct {
 
 // Ports connect the core to the memory system and prefetch paths.
 type Ports struct {
-	// Load issues a demand load; done must be called at completion time.
-	Load func(addr uint64, pc int, done func(at sim.Ticks))
+	// Load issues a demand load; h.Handle(at, a, 0) must fire at completion
+	// time. The handler-plus-payload shape keeps the per-load path free of
+	// closure allocations.
+	Load func(addr uint64, pc int, h sim.Handler, a uint64)
 	// Store posts a demand store (timing-relevant only for cache state).
 	Store func(addr uint64, pc int)
 	// SWPrefetch issues a software-prefetch request.
@@ -101,13 +103,31 @@ type Core struct {
 	ports Ports
 
 	stream     Stream
-	pendingOp  *MicroOp // dispatch-rejected op, delivered before the stream
+	pendingOp  MicroOp // dispatch-rejected op, delivered before the stream
+	hasPending bool
 	nextID     int64
-	rob        []robEntry // FIFO window, index 0 = oldest
+	// rob is a fixed ring buffer of cfg.ROB entries: robHead indexes the
+	// oldest entry, robN counts occupancy. Retiring moves the head instead of
+	// re-slicing, so the window's backing array lives for the whole run.
+	rob        []robEntry
+	robHead    int
+	robN       int
 	completion [completionRing]sim.Ticks
 	known      [completionRing]bool
+	// ringAddr/ringPC mirror each op's address and PC, indexed like the
+	// completion ring, so a delayed load launch can be scheduled with just
+	// the op id as payload (the entry is still in the window at launch time,
+	// and completionRing > ROB keeps the slot from being reused under it).
+	ringAddr   [completionRing]uint64
+	ringPC     [completionRing]int32
 	inflightLd int
 	inflightSt int
+
+	tickH     tickHandler
+	launchH   launchHandler
+	loadDoneH loadDoneHandler
+	storeH    storeHandler
+	swpfH     swpfHandler
 
 	stallUntil      sim.Ticks // branch redirect: no dispatch before this
 	redirectPending bool      // a mispredicted branch has not yet resolved
@@ -145,9 +165,69 @@ func New(eng *sim.Engine, cfg Config, ports Ports) *Core {
 		panic("cpu: invalid core configuration")
 	}
 	c := &Core{eng: eng, cfg: cfg, ports: ports}
+	c.rob = make([]robEntry, cfg.ROB)
+	c.tickH.c = c
+	c.launchH.c = c
+	c.loadDoneH.c = c
+	c.storeH.c = c
+	c.swpfH.c = c
 	c.bp.init()
 	return c
 }
+
+// robAt returns the i-th oldest window entry (i < robN).
+func (c *Core) robAt(i int) *robEntry {
+	p := c.robHead + i
+	if p >= len(c.rob) {
+		p -= len(c.rob)
+	}
+	return &c.rob[p]
+}
+
+func (c *Core) robPush(e robEntry) {
+	p := c.robHead + c.robN
+	if p >= len(c.rob) {
+		p -= len(c.rob)
+	}
+	c.rob[p] = e
+	c.robN++
+}
+
+func (c *Core) robPop() {
+	c.robHead++
+	if c.robHead == len(c.rob) {
+		c.robHead = 0
+	}
+	c.robN--
+}
+
+// tickHandler runs one core cycle; the recurring tick event carries it
+// instead of a per-tick method-value closure.
+type tickHandler struct{ c *Core }
+
+func (h tickHandler) Handle(sim.Ticks, uint64, uint64) { h.c.tick() }
+
+// launchHandler issues a load whose operands resolved in the future; a is
+// the op id, resolved to address/PC through the mirror rings.
+type launchHandler struct{ c *Core }
+
+func (h launchHandler) Handle(_ sim.Ticks, a, _ uint64) { h.c.launchLoad(int64(a)) }
+
+// loadDoneHandler receives a demand-load completion; a is the op id.
+type loadDoneHandler struct{ c *Core }
+
+func (h loadDoneHandler) Handle(at sim.Ticks, a, _ uint64) { h.c.loadComplete(int64(a), at) }
+
+// storeHandler posts a retiring store to the memory port; a is the address,
+// b the PC.
+type storeHandler struct{ c *Core }
+
+func (h storeHandler) Handle(_ sim.Ticks, a, b uint64) { h.c.ports.Store(a, int(int64(b))) }
+
+// swpfHandler posts a software prefetch; a is the address.
+type swpfHandler struct{ c *Core }
+
+func (h swpfHandler) Handle(_ sim.Ticks, a, _ uint64) { h.c.ports.SWPrefetch(a) }
 
 // Run begins executing the stream; onDone is called when the last op
 // retires. Run must be called before the engine runs.
@@ -162,7 +242,7 @@ func (c *Core) scheduleTick(at sim.Ticks) {
 		return
 	}
 	c.tickPending = true
-	c.eng.At(c.cfg.Clock.NextEdge(at), c.tick)
+	c.eng.Schedule(c.cfg.Clock.NextEdge(at), c.tickH, 0, 0)
 }
 
 func (c *Core) wake() { c.scheduleTick(c.eng.Now()) }
@@ -196,19 +276,19 @@ func (c *Core) tick() {
 	c.resolveAndIssue(now)
 	c.dispatch(now)
 
-	if len(c.rob) == 0 && c.streamDone() {
+	if c.robN == 0 && c.streamDone() {
 		c.finish(now)
 		return
 	}
 	c.scheduleNext(now)
 }
 
-func (c *Core) streamDone() bool { return c.stream == nil && c.pendingOp == nil }
+func (c *Core) streamDone() bool { return c.stream == nil && !c.hasPending }
 
 func (c *Core) retire(now sim.Ticks) {
 	retired := 0
-	for retired < c.cfg.Width && len(c.rob) > 0 {
-		head := &c.rob[0]
+	for retired < c.cfg.Width && c.robN > 0 {
+		head := c.robAt(0)
 		if head.completeAt < 0 || head.completeAt > now {
 			break
 		}
@@ -226,15 +306,15 @@ func (c *Core) retire(now sim.Ticks) {
 		}
 		c.Stats.Ops++
 		c.Stats.FinishTick = now
-		c.rob = c.rob[1:]
+		c.robPop()
 		retired++
 	}
-	c.setStall(trace.StallRetire, retired == 0 && len(c.rob) > 0 && c.rob[0].completeAt < 0)
+	c.setStall(trace.StallRetire, retired == 0 && c.robN > 0 && c.robAt(0).completeAt < 0)
 }
 
 func (c *Core) resolveAndIssue(now sim.Ticks) {
-	for i := range c.rob {
-		e := &c.rob[i]
+	for i := 0; i < c.robN; i++ {
+		e := c.robAt(i)
 		if e.issued {
 			continue
 		}
@@ -273,16 +353,10 @@ func (c *Core) issue(e *robEntry, now sim.Ticks) {
 	case OpLoad:
 		e.issued = true
 		e.completeAt = -1
-		id, addr, pc := e.id, e.addr, e.pc // e points into a slice that mutates
-		launch := func() {
-			c.ports.Load(addr, pc, func(at sim.Ticks) {
-				c.loadComplete(id, at)
-			})
-		}
 		if start > now {
-			c.eng.At(start, launch)
+			c.eng.Schedule(start, c.launchH, uint64(e.id), 0)
 		} else {
-			launch()
+			c.ports.Load(e.addr, e.pc, c.loadDoneH, uint64(e.id))
 		}
 		return
 	}
@@ -293,20 +367,25 @@ func (c *Core) issue(e *robEntry, now sim.Ticks) {
 		c.redirectPending = false
 	}
 	if e.kind == OpStore && c.ports.Store != nil {
-		addr, pc := e.addr, e.pc
-		c.eng.At(e.completeAt, func() { c.ports.Store(addr, pc) })
+		c.eng.Schedule(e.completeAt, c.storeH, e.addr, uint64(int64(e.pc)))
 	}
 	if e.kind == OpSWPf && c.ports.SWPrefetch != nil {
-		addr := e.addr
-		c.eng.At(e.completeAt, func() { c.ports.SWPrefetch(addr) })
+		c.eng.Schedule(e.completeAt, c.swpfH, e.addr, 0)
 	}
+}
+
+// launchLoad fires a delayed load issue: the op is still in the window, so
+// its address and PC are read back from the mirror rings.
+func (c *Core) launchLoad(id int64) {
+	slot := id % completionRing
+	c.ports.Load(c.ringAddr[slot], int(c.ringPC[slot]), c.loadDoneH, uint64(id))
 }
 
 func (c *Core) loadComplete(id int64, at sim.Ticks) {
 	c.recordCompletion(id, at)
-	for i := range c.rob {
-		if c.rob[i].id == id {
-			c.rob[i].completeAt = at
+	for i := 0; i < c.robN; i++ {
+		if e := c.robAt(i); e.id == id {
+			e.completeAt = at
 			break
 		}
 	}
@@ -323,7 +402,7 @@ func (c *Core) dispatch(now sim.Ticks) {
 	}
 	c.setStall(trace.StallRedirect, false)
 	for n := 0; n < c.cfg.Width; n++ {
-		if len(c.rob) >= c.cfg.ROB {
+		if c.robN >= c.cfg.ROB {
 			return
 		}
 		op, ok := c.nextOp()
@@ -336,7 +415,7 @@ func (c *Core) dispatch(now sim.Ticks) {
 			if c.inflightLd >= c.cfg.LQ {
 				// No LQ entry: hold the op until one frees at retirement.
 				c.setStall(trace.StallLQ, true)
-				c.pendingOp = &op
+				c.pendingOp, c.hasPending = op, true
 				return
 			}
 			c.inflightLd++
@@ -344,7 +423,7 @@ func (c *Core) dispatch(now sim.Ticks) {
 		case OpStore:
 			if c.inflightSt >= c.cfg.SQ {
 				c.setStall(trace.StallSQ, true)
-				c.pendingOp = &op
+				c.pendingOp, c.hasPending = op, true
 				return
 			}
 			c.inflightSt++
@@ -356,7 +435,10 @@ func (c *Core) dispatch(now sim.Ticks) {
 		}
 		id := c.nextID
 		c.nextID++
-		c.known[id%completionRing] = false
+		slot := id % completionRing
+		c.known[slot] = false
+		c.ringAddr[slot] = op.Addr
+		c.ringPC[slot] = int32(op.PC)
 		e := robEntry{
 			id: id, kind: op.Kind, addr: op.Addr, pc: op.PC,
 			deps: op.Deps, readyAt: now, completeAt: -1,
@@ -370,14 +452,14 @@ func (c *Core) dispatch(now sim.Ticks) {
 				e.unresolved++
 			}
 		}
-		c.rob = append(c.rob, e)
+		c.robPush(e)
 		if op.Kind == OpBranch {
 			if c.bp.predictAndUpdate(op.PC, op.Taken) != op.Taken {
 				c.Stats.Mispredicts++
 				// Redirect: no further dispatch until the branch resolves
 				// plus the front-end refill penalty. The stall is installed
 				// when the branch issues (its resolve time is then known).
-				c.rob[len(c.rob)-1].mispred = true
+				c.robAt(c.robN - 1).mispred = true
 				c.redirectPending = true
 				return
 			}
@@ -387,10 +469,9 @@ func (c *Core) dispatch(now sim.Ticks) {
 
 // nextOp pulls the next micro-op, honouring a previously rejected one.
 func (c *Core) nextOp() (MicroOp, bool) {
-	if c.pendingOp != nil {
-		op := *c.pendingOp
-		c.pendingOp = nil
-		return op, true
+	if c.hasPending {
+		c.hasPending = false
+		return c.pendingOp, true
 	}
 	return c.stream.Next()
 }
@@ -400,8 +481,8 @@ func (c *Core) scheduleNext(now sim.Ticks) {
 	// something retireable, issueable or dispatchable soon.
 	next := now + c.cfg.Clock.Period
 
-	if len(c.rob) > 0 {
-		head := c.rob[0]
+	if c.robN > 0 {
+		head := c.robAt(0)
 		if head.completeAt >= 0 {
 			// Head has a known completion: tick then (or next cycle if past).
 			if head.completeAt > next {
@@ -413,13 +494,13 @@ func (c *Core) scheduleNext(now sim.Ticks) {
 		// Head incomplete. If it is an unissued op or there are unissued
 		// ops that may become ready, tick next cycle; if everything issued
 		// and waiting on memory, sleep until a load callback wakes us.
-		for i := range c.rob {
-			if !c.rob[i].issued {
+		for i := 0; i < c.robN; i++ {
+			if !c.robAt(i).issued {
 				c.scheduleTick(next)
 				return
 			}
 		}
-		if c.stream != nil && len(c.rob) < c.cfg.ROB && now >= c.stallUntil && !c.redirectPending {
+		if c.stream != nil && c.robN < c.cfg.ROB && now >= c.stallUntil && !c.redirectPending {
 			c.scheduleTick(next)
 			return
 		}
@@ -490,9 +571,10 @@ func boolBit(b bool) uint32 {
 // Window reports the reorder-buffer occupancy, outstanding loads and the
 // completion state of the window head (diagnostics).
 func (c *Core) Window() (rob, loads int, headComplete bool, headKind OpKind) {
-	if len(c.rob) > 0 {
-		headComplete = c.rob[0].completeAt >= 0
-		headKind = c.rob[0].kind
+	if c.robN > 0 {
+		head := c.robAt(0)
+		headComplete = head.completeAt >= 0
+		headKind = head.kind
 	}
-	return len(c.rob), c.inflightLd, headComplete, headKind
+	return c.robN, c.inflightLd, headComplete, headKind
 }

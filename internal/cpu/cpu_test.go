@@ -46,7 +46,7 @@ type fixedMem struct {
 }
 
 func (m *fixedMem) ports() Ports {
-	return Ports{Load: func(addr uint64, pc int, done func(sim.Ticks)) {
+	return Ports{Load: func(addr uint64, pc int, h sim.Handler, a uint64) {
 		m.issued++
 		m.inFlight++
 		if m.inFlight > m.maxInFly {
@@ -54,7 +54,7 @@ func (m *fixedMem) ports() Ports {
 		}
 		m.eng.After(m.latency, func() {
 			m.inFlight--
-			done(m.eng.Now())
+			h.Handle(m.eng.Now(), a, 0)
 		})
 	}}
 }
@@ -241,7 +241,7 @@ func TestSWPrefetchPort(t *testing.T) {
 	eng := sim.NewEngine()
 	var pfAddrs []uint64
 	ports := Ports{
-		Load:       func(addr uint64, pc int, done func(sim.Ticks)) { done(eng.Now()) },
+		Load:       func(addr uint64, pc int, h sim.Handler, a uint64) { h.Handle(eng.Now(), a, 0) },
 		SWPrefetch: func(addr uint64) { pfAddrs = append(pfAddrs, addr) },
 	}
 	core := New(eng, testConfig(), ports)
@@ -260,7 +260,7 @@ func TestStorePort(t *testing.T) {
 	eng := sim.NewEngine()
 	stores := 0
 	ports := Ports{
-		Load:  func(addr uint64, pc int, done func(sim.Ticks)) { done(eng.Now()) },
+		Load:  func(addr uint64, pc int, h sim.Handler, a uint64) { h.Handle(eng.Now(), a, 0) },
 		Store: func(addr uint64, pc int) { stores++ },
 	}
 	core := New(eng, testConfig(), ports)

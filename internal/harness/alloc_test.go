@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"testing"
+
+	"eventpf/internal/workloads"
+)
+
+// TestMachineRunAllocBudget extends the engine-only zero-alloc test from the
+// sim package to a complete machine: one full (small) HJ-2 run under the
+// programmable prefetcher must stay within a fixed allocation budget. The
+// budget is dominated by one-time construction — machine assembly, arena
+// data, IR stream generation — and measured at ~65k allocations; the bound
+// leaves ~3× headroom for runtime/map noise. What it cannot absorb is any
+// per-event or per-request allocation creeping back into the steady-state
+// loop: this run simulates hundreds of thousands of events, so even one
+// closure per event or one Request per access blows the budget immediately.
+func TestMachineRunAllocBudget(t *testing.T) {
+	const budget = 200_000
+
+	b, err := workloads.ByName("HJ-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, err := Run(b, Manual, Options{Scale: 0.02}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm any lazy process-wide state before counting
+	allocs := testing.AllocsPerRun(3, run)
+	if allocs > budget {
+		t.Errorf("full machine run allocated %.0f objects, budget %d — "+
+			"a steady-state path has started allocating (closure scheduling, "+
+			"unpooled requests, or queue churn)", allocs, budget)
+	}
+}

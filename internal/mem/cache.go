@@ -63,13 +63,23 @@ type cacheLine struct {
 	lastUse    int64
 }
 
+// waiter is one completion target merged into an in-flight miss.
+type waiter struct {
+	h sim.Handler
+	a uint64
+}
+
+// mshrEntry is one slot of the fixed miss-register file. Entries are never
+// heap-allocated per miss: the slot array is sized to cfg.MSHRs at
+// construction and the waiters/tags backing slices are recycled across
+// misses ([:0] on allocate, capacity retained).
 type mshrEntry struct {
 	line         uint64
-	slot         int32 // stable MSHR index for tracing, -1 when untraced
-	demand       bool  // at least one demand access is waiting
-	dirty        bool  // a store is among the merged accesses
-	initPrefetch bool  // the miss was initiated by a prefetch
-	waiters      []func(at sim.Ticks)
+	active       bool
+	demand       bool // at least one demand access is waiting
+	dirty        bool // a store is among the merged accesses
+	initPrefetch bool // the miss was initiated by a prefetch
+	waiters      []waiter
 	tags         []tagged // prefetch-kernel tags to fire on fill (§4.7)
 }
 
@@ -91,8 +101,29 @@ type Cache struct {
 	lines    [][]cacheLine
 	useClock int64
 
-	mshr        map[uint64]*mshrEntry
+	// mshrSlots is the miss-register file: a fixed array scanned linearly.
+	// At ≤32 entries a scan-and-compare beats map hashing, allocates nothing,
+	// and the array index doubles as the stable slot id the trace bus labels
+	// MSHR tracks with (replacing the old lazily-allocated slotUsed table).
+	mshrSlots []mshrEntry
+	mshrCount int
+
+	// lookupQ holds requests whose lookup is in the cache pipeline. Every
+	// lookup takes the same HitCycles delay, so completions are FIFO and the
+	// scheduled event needs no payload: it pops the head.
+	lookupQ []*Request
+
 	pendingMiss []*Request
+
+	// Pool, if set, is the machine-wide request free list this cache releases
+	// serviced requests into (and draws writeback requests from). Nil (unit
+	// tests) falls back to plain allocation.
+	Pool *Pool
+
+	// lookupH/fillH are the typed event/completion adapters; scheduling
+	// through them allocates nothing.
+	lookupH lookupHandler
+	fillH   fillHandler
 
 	// OnDemandAccess, if set, observes every demand load at lookup time:
 	// this is the snoop feeding the programmable prefetcher's address
@@ -118,31 +149,31 @@ type Cache struct {
 	OnPrefetchDead func(line uint64)
 
 	// Bus, if set, receives CacheMiss/CacheFill/CacheMSHRFull/CachePFDrop
-	// events labelled with Level. MSHR slot indices (for per-MSHR trace
-	// tracks) are assigned only while a bus is attached.
-	Bus      *trace.Bus
-	Level    int32
-	slotUsed []bool // lazily sized to cfg.MSHRs on first traced miss
+	// events labelled with Level. The MSHR slot index on miss/fill events is
+	// the entry's position in the fixed slot array.
+	Bus   *trace.Bus
+	Level int32
 
 	Stats CacheStats
 }
 
-// takeSlot returns the lowest free MSHR slot index, or -1 when untraced.
-func (c *Cache) takeSlot() int32 {
-	if c.Bus == nil {
-		return -1
-	}
-	if c.slotUsed == nil {
-		c.slotUsed = make([]bool, c.cfg.MSHRs)
-	}
-	for i, used := range c.slotUsed {
-		if !used {
-			c.slotUsed[i] = true
-			return int32(i)
-		}
-	}
-	return -1
+// lookupHandler pops the oldest in-pipeline lookup; FIFO order matches event
+// order because every lookup is scheduled with the same fixed delay.
+type lookupHandler struct{ c *Cache }
+
+func (h lookupHandler) Handle(sim.Ticks, uint64, uint64) {
+	c := h.c
+	req := c.lookupQ[0]
+	n := copy(c.lookupQ, c.lookupQ[1:])
+	c.lookupQ[n] = nil
+	c.lookupQ = c.lookupQ[:n]
+	c.finishLookup(req)
 }
+
+// fillHandler receives the next level's completion for MSHR slot a.
+type fillHandler struct{ c *Cache }
+
+func (h fillHandler) Handle(_ sim.Ticks, a, _ uint64) { h.c.fill(int32(a)) }
 
 // NewCache builds a cache in the given clock domain in front of next.
 func NewCache(eng *sim.Engine, clk sim.Clock, cfg CacheConfig, next Level) *Cache {
@@ -151,14 +182,16 @@ func NewCache(eng *sim.Engine, clk sim.Clock, cfg CacheConfig, next Level) *Cach
 		panic(fmt.Sprintf("mem: %s: set count %d must be a positive power of two", cfg.Name, sets))
 	}
 	c := &Cache{
-		eng:   eng,
-		clk:   clk,
-		cfg:   cfg,
-		next:  next,
-		sets:  sets,
-		lines: make([][]cacheLine, sets),
-		mshr:  make(map[uint64]*mshrEntry),
+		eng:       eng,
+		clk:       clk,
+		cfg:       cfg,
+		next:      next,
+		sets:      sets,
+		lines:     make([][]cacheLine, sets),
+		mshrSlots: make([]mshrEntry, cfg.MSHRs),
 	}
+	c.lookupH.c = c
+	c.fillH.c = c
 	for i := range c.lines {
 		c.lines[i] = make([]cacheLine, cfg.Ways)
 	}
@@ -182,14 +215,25 @@ func (c *Cache) lookup(line uint64) *cacheLine {
 	return nil
 }
 
+// findMSHR returns the active slot tracking line, or -1.
+func (c *Cache) findMSHR(line uint64) int32 {
+	for i := range c.mshrSlots {
+		if c.mshrSlots[i].active && c.mshrSlots[i].line == line {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
 // FreeMSHRs reports how many miss registers are available.
-func (c *Cache) FreeMSHRs() int { return c.cfg.MSHRs - len(c.mshr) }
+func (c *Cache) FreeMSHRs() int { return c.cfg.MSHRs - c.mshrCount }
 
 // Contains reports whether the line holding addr is resident (for tests).
 func (c *Cache) Contains(addr uint64) bool { return c.lookup(LineAddr(addr)) != nil }
 
 // Access begins servicing a request. The lookup completes HitCycles later;
-// Done fires at hit time or, on a miss, at fill time.
+// the completion target fires at hit time or, on a miss, at fill time. The
+// cache takes ownership of req (see Level).
 func (c *Cache) Access(req *Request) {
 	if req.Line == 0 {
 		req.Line = LineAddr(req.Addr)
@@ -201,12 +245,18 @@ func (c *Cache) Access(req *Request) {
 		c.Stats.Writebacks++
 		if l := c.lookup(req.Line); l != nil {
 			l.dirty = true
+			c.Pool.Put(req)
 			return
 		}
-		c.next.Access(&Request{Addr: req.Addr, Line: req.Line, Kind: Writeback, Tag: NoTag, TimedAt: -1})
+		// Forward the same request down; ownership transfers with it.
+		req.Kind = Writeback
+		req.Tag, req.TimedAt = NoTag, -1
+		req.Done, req.Comp = nil, nil
+		c.next.Access(req)
 		return
 	}
-	c.eng.After(c.clk.Cycles(c.cfg.HitCycles), func() { c.finishLookup(req) })
+	c.lookupQ = append(c.lookupQ, req)
+	c.eng.ScheduleAfter(c.clk.Cycles(c.cfg.HitCycles), c.lookupH, 0, 0)
 }
 
 func (c *Cache) finishLookup(req *Request) {
@@ -242,9 +292,8 @@ func (c *Cache) finishLookup(req *Request) {
 			// prefetch-completion event still fires so the chain continues.
 			c.OnPrefetchFill(req.Line, req.Tag, req.TimedAt, false)
 		}
-		if req.Done != nil {
-			req.Done(now)
-		}
+		req.Complete(now)
+		c.Pool.Put(req)
 		return
 	}
 	c.miss(req)
@@ -261,9 +310,12 @@ func (c *Cache) touch(line *cacheLine, req *Request) {
 	}
 }
 
+// miss consumes req: it is merged, parked, dropped or sent down, and (except
+// when parked waiting for an MSHR) released back to the pool before return.
 func (c *Cache) miss(req *Request) {
-	if e, ok := c.mshr[req.Line]; ok {
+	if s := c.findMSHR(req.Line); s >= 0 {
 		// Merge with the in-flight miss.
+		e := &c.mshrSlots[s]
 		c.Stats.MSHRMerges++
 		if req.Kind != Prefetch {
 			if e.initPrefetch && !e.demand {
@@ -276,12 +328,13 @@ func (c *Cache) miss(req *Request) {
 		} else if req.Tag != NoTag {
 			e.tags = append(e.tags, tagged{req.Tag, req.TimedAt})
 		}
-		if req.Done != nil {
-			e.waiters = append(e.waiters, req.Done)
+		if h := req.Completer(); h != nil {
+			e.waiters = append(e.waiters, waiter{h, req.CompA})
 		}
+		c.Pool.Put(req)
 		return
 	}
-	if len(c.mshr) >= c.cfg.MSHRs {
+	if c.mshrCount >= c.cfg.MSHRs {
 		if req.Kind == Prefetch {
 			c.Stats.PrefetchDrop++
 			c.Bus.Emit(trace.Event{At: c.eng.Now(), Kind: trace.CachePFDrop,
@@ -289,6 +342,7 @@ func (c *Cache) miss(req *Request) {
 			if req.Tag != NoTag && c.OnPrefetchDrop != nil {
 				c.OnPrefetchDrop(req.Line, req.Tag)
 			}
+			c.Pool.Put(req)
 			return
 		}
 		c.Stats.MSHRStalls++
@@ -302,71 +356,85 @@ func (c *Cache) miss(req *Request) {
 
 func (c *Cache) allocateMSHR(req *Request) {
 	c.Stats.Misses++
-	e := &mshrEntry{
-		line:         req.Line,
-		slot:         c.takeSlot(),
-		demand:       req.Kind != Prefetch,
-		dirty:        req.Kind == Store,
-		initPrefetch: req.Kind == Prefetch,
+	s := int32(0)
+	for c.mshrSlots[s].active {
+		s++
 	}
+	e := &c.mshrSlots[s]
+	e.line = req.Line
+	e.active = true
+	e.demand = req.Kind != Prefetch
+	e.dirty = req.Kind == Store
+	e.initPrefetch = req.Kind == Prefetch
+	e.waiters = e.waiters[:0]
+	e.tags = e.tags[:0]
+	c.mshrCount++
+
 	demandBit := int32(0)
 	if e.demand {
 		demandBit = 1
 	}
 	c.Bus.Emit(trace.Event{At: c.eng.Now(), Kind: trace.CacheMiss,
-		Addr: req.Line, A: c.Level, B: e.slot, C: demandBit, ID: int64(req.Line)})
+		Addr: req.Line, A: c.Level, B: s, C: demandBit, ID: int64(req.Line)})
 	if req.Kind == Prefetch {
 		c.Stats.PrefetchIssue++
 		if req.Tag != NoTag {
 			e.tags = append(e.tags, tagged{req.Tag, req.TimedAt})
 		}
 	}
-	if req.Done != nil {
-		e.waiters = append(e.waiters, req.Done)
+	if h := req.Completer(); h != nil {
+		e.waiters = append(e.waiters, waiter{h, req.CompA})
 	}
-	c.mshr[req.Line] = e
 
-	down := &Request{
-		Addr: req.Addr,
-		Line: req.Line,
-		Kind: Load,
-		PC:   -1,
-		Tag:  NoTag, TimedAt: -1,
-		Done: func(at sim.Ticks) { c.fill(e) },
-	}
+	down := c.Pool.Get()
+	down.Addr, down.Line = req.Addr, req.Line
+	down.Kind = Load
 	if req.Kind == Prefetch {
 		down.Kind = Prefetch
 	}
+	down.PC = -1
+	down.Tag, down.TimedAt = NoTag, -1
+	down.Comp, down.CompA = c.fillH, uint64(s)
+	c.Pool.Put(req)
 	c.next.Access(down)
 }
 
-func (c *Cache) fill(e *mshrEntry) {
+func (c *Cache) fill(s int32) {
 	now := c.eng.Now()
+	e := &c.mshrSlots[s]
 	c.insert(e)
-	delete(c.mshr, e.line)
+	// The slot frees here (exactly where the old map entry was deleted), but
+	// its contents stay readable below: nothing inside the waiter/tag
+	// callbacks re-enters Access synchronously (core completions and
+	// prefetcher kernels only *schedule* work), so the slot cannot be
+	// re-allocated before this function returns.
+	e.active = false
+	c.mshrCount--
 	c.Bus.Emit(trace.Event{At: now, Kind: trace.CacheFill,
-		Addr: e.line, A: c.Level, B: e.slot, ID: int64(e.line)})
-	if e.slot >= 0 && int(e.slot) < len(c.slotUsed) {
-		c.slotUsed[e.slot] = false
-	}
+		Addr: e.line, A: c.Level, B: s, ID: int64(e.line)})
 
-	for _, w := range e.waiters {
-		w(now)
+	for i := range e.waiters {
+		e.waiters[i].h.Handle(now, e.waiters[i].a, 0)
 	}
 	if c.OnPrefetchFill != nil {
 		for _, t := range e.tags {
 			c.OnPrefetchFill(e.line, t.tag, t.timedAt, true)
 		}
 	}
+	for i := range e.waiters {
+		e.waiters[i] = waiter{} // drop handler references eagerly
+	}
 
 	// A register just freed: admit a queued demand miss first, then let the
 	// prefetch drainer know.
-	if len(c.pendingMiss) > 0 && len(c.mshr) < c.cfg.MSHRs {
+	if len(c.pendingMiss) > 0 && c.mshrCount < c.cfg.MSHRs {
 		next := c.pendingMiss[0]
-		c.pendingMiss = c.pendingMiss[1:]
+		n := copy(c.pendingMiss, c.pendingMiss[1:])
+		c.pendingMiss[n] = nil
+		c.pendingMiss = c.pendingMiss[:n]
 		c.miss(next)
 	}
-	if c.OnMSHRFree != nil && len(c.mshr) < c.cfg.MSHRs {
+	if c.OnMSHRFree != nil && c.mshrCount < c.cfg.MSHRs {
 		c.OnMSHRFree()
 	}
 }
@@ -417,7 +485,12 @@ func (c *Cache) evict(l *cacheLine) {
 		}
 	}
 	if l.dirty {
-		c.next.Access(&Request{Addr: l.tag, Line: l.tag, Kind: Writeback, PC: -1, Tag: NoTag, TimedAt: -1})
+		wb := c.Pool.Get()
+		wb.Addr, wb.Line = l.tag, l.tag
+		wb.Kind = Writeback
+		wb.PC = -1
+		wb.Tag, wb.TimedAt = NoTag, -1
+		c.next.Access(wb)
 		c.Stats.Writebacks++
 	}
 	l.valid = false
@@ -448,4 +521,4 @@ func (c *Cache) LookupLatency() sim.Ticks { return c.clk.Cycles(c.cfg.HitCycles)
 func (c *Cache) PendingMisses() int { return len(c.pendingMiss) }
 
 // InFlightMSHRs reports occupied miss registers (diagnostics).
-func (c *Cache) InFlightMSHRs() int { return len(c.mshr) }
+func (c *Cache) InFlightMSHRs() int { return c.mshrCount }

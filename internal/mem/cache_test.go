@@ -17,9 +17,9 @@ type fixedLevel struct {
 
 func (f *fixedLevel) Access(req *Request) {
 	f.count++
-	if req.Done != nil {
-		done := req.Done
-		f.eng.After(f.latency, func() { done(f.eng.Now() + f.latency) })
+	if h := req.Completer(); h != nil {
+		a := req.CompA
+		f.eng.After(f.latency, func() { h.Handle(f.eng.Now()+f.latency, a, 0) })
 	}
 }
 

@@ -62,6 +62,12 @@ type DRAM struct {
 	busFreeAt sim.Ticks
 	Stats     DRAMStats
 
+	// Pool, if set, receives serviced requests back: DRAM is the last level,
+	// so every request that reaches it dies here. The completion target is
+	// resolved and scheduled before the request is recycled, so the event
+	// carries no reference to it.
+	Pool *Pool
+
 	// Bus, if set, receives one DRAMAccess span per request, labelled with
 	// the bank and row state and covering the bank-busy window.
 	Bus *trace.Bus
@@ -140,7 +146,8 @@ func (d *DRAM) Access(req *Request) {
 		d.Stats.Reads++
 		d.Stats.LatencySum += doneAt - now
 	}
-	if req.Done != nil {
-		d.eng.At(doneAt, func() { req.Done(doneAt) })
+	if h := req.Completer(); h != nil {
+		d.eng.Schedule(doneAt, h, req.CompA, 0)
 	}
+	d.Pool.Put(req)
 }

@@ -51,11 +51,91 @@ type Request struct {
 	TimedAt sim.Ticks
 
 	// Done is invoked when the access completes, with the completion time.
-	// May be nil for posted writes.
+	// May be nil for posted writes. This is the closure compatibility path;
+	// steady-state issuers set Comp/CompA instead so completing a request
+	// allocates nothing.
 	Done func(at sim.Ticks)
+
+	// Comp, when non-nil, receives the completion as Comp.Handle(at, CompA, 0)
+	// and takes precedence over Done.
+	Comp  sim.Handler
+	CompA uint64
+}
+
+// HasDone reports whether any completion target is attached.
+func (r *Request) HasDone() bool { return r.Comp != nil || r.Done != nil }
+
+// Completer returns the request's completion target as a Handler: Comp if
+// set, otherwise the Done closure wrapped without allocating (func values are
+// pointer-shaped), or nil when the request is posted.
+func (r *Request) Completer() sim.Handler {
+	if r.Comp != nil {
+		return r.Comp
+	}
+	if r.Done != nil {
+		return doneFunc(r.Done)
+	}
+	return nil
+}
+
+// Complete fires the completion target, if any, with the completion time.
+func (r *Request) Complete(at sim.Ticks) {
+	if r.Comp != nil {
+		r.Comp.Handle(at, r.CompA, 0)
+		return
+	}
+	if r.Done != nil {
+		r.Done(at)
+	}
+}
+
+// doneFunc adapts a Done closure onto the typed completion path.
+type doneFunc func(at sim.Ticks)
+
+func (f doneFunc) Handle(at sim.Ticks, _, _ uint64) { f(at) }
+
+// Pool is a machine-wide free list of Requests. The engine (and every
+// component built on it) is confined to one goroutine, so a plain slice —
+// no sync.Pool, no locks — is safe; see DESIGN.md §15 for the ownership
+// rules (the level that finishes servicing a request releases it).
+//
+// All methods are nil-receiver safe: components without a pool attached
+// (unit tests building a Cache directly) fall back to plain allocation and
+// let the GC collect retired requests, exactly the pre-pool behaviour.
+type Pool struct {
+	free []*Request
+}
+
+// NewPool returns an empty request pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed Request. Callers must set every field they need —
+// including Kind, PC, Tag and TimedAt — exactly as if they had written a
+// struct literal.
+func (p *Pool) Get() *Request {
+	if p == nil || len(p.free) == 0 {
+		return &Request{}
+	}
+	n := len(p.free) - 1
+	r := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	*r = Request{}
+	return r
+}
+
+// Put recycles a request. The caller must hold the only live reference.
+func (p *Pool) Put(r *Request) {
+	if p == nil || r == nil {
+		return
+	}
+	r.Done, r.Comp = nil, nil // drop references eagerly
+	p.free = append(p.free, r)
 }
 
 // Level is anything that can service memory requests: a cache or DRAM.
+// Access takes ownership of req: the level (or the level it forwards to)
+// releases the request to the machine pool once nothing references it.
 type Level interface {
 	Access(req *Request)
 }

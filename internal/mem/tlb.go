@@ -56,7 +56,17 @@ type TLB struct {
 	l2 [][]tlbEntry
 
 	activeWalks int
-	walkQueue   []func()
+	walkQueue   []int32 // indices into recs, FIFO of walks awaiting a walker
+
+	// recs is the in-flight translation table: one record per translation
+	// that could not complete synchronously (L2 hit delay or page walk).
+	// Records are recycled through recFree, so steady-state translation
+	// allocates nothing; events and the walk queue carry record indices.
+	recs    []transRec
+	recFree []int32
+
+	l2HitH   tlbL2HitHandler
+	walkDone tlbWalkDoneHandler
 
 	// useClock orders LRU touches. It is per-TLB (not package-level) so
 	// machines running on different goroutines never share mutable state;
@@ -104,9 +114,88 @@ type tlbEntry struct {
 	lastUse int64
 }
 
+// transRec holds one in-flight translation: the page being resolved, the
+// completion target, and (for walks) the trace slot and start time.
+type transRec struct {
+	page  uint64
+	h     sim.Handler
+	a     uint64
+	slot  int32
+	start sim.Ticks
+}
+
+func (t *TLB) allocRec(page uint64, h sim.Handler, a uint64) int32 {
+	if n := len(t.recFree); n > 0 {
+		ri := t.recFree[n-1]
+		t.recFree = t.recFree[:n-1]
+		t.recs[ri] = transRec{page: page, h: h, a: a}
+		return ri
+	}
+	t.recs = append(t.recs, transRec{page: page, h: h, a: a})
+	return int32(len(t.recs) - 1)
+}
+
+func (t *TLB) freeRec(ri int32) {
+	t.recs[ri] = transRec{} // drop the handler reference eagerly
+	t.recFree = append(t.recFree, ri)
+}
+
+// tlbL2HitHandler completes an L2 TLB hit after the L2 latency; a is the
+// translation-record index.
+type tlbL2HitHandler struct{ t *TLB }
+
+func (hh tlbL2HitHandler) Handle(at sim.Ticks, a, _ uint64) {
+	t := hh.t
+	r := t.recs[a]
+	t.freeRec(int32(a))
+	t.insertLRU(t.l1, r.page)
+	r.h.Handle(at, r.a, 1)
+}
+
+// tlbWalkDoneHandler finishes a page-table walk; a is the record index.
+type tlbWalkDoneHandler struct{ t *TLB }
+
+func (hh tlbWalkDoneHandler) Handle(at sim.Ticks, a, _ uint64) {
+	t := hh.t
+	r := t.recs[a]
+	t.freeRec(int32(a)) // locals copied; the completion below may reuse the slot
+	t.activeWalks--
+	ok := t.bk.Mapped(r.page)
+	okBit := int32(0)
+	if ok {
+		okBit = 1
+	}
+	t.Bus.Emit(trace.Event{At: r.start, Dur: t.clk.Cycles(t.cfg.WalkCycles),
+		Kind: trace.TLBWalk, Addr: r.page, A: r.slot, B: okBit})
+	if r.slot >= 0 && int(r.slot) < len(t.walkerBusy) {
+		t.walkerBusy[r.slot] = false
+	}
+	if ok {
+		t.insertLRU(t.l1, r.page)
+		set := t.l2[(r.page/PageSize)%uint64(len(t.l2))]
+		t.insertLRU(set, r.page)
+	} else {
+		t.Stats.Faults++
+	}
+	// Hand the freed walker slot to the queue head BEFORE running the
+	// completion: the completion may synchronously request another
+	// translation (the prefetch pump does), and letting it take the slot
+	// first starves queued demand walks indefinitely.
+	if len(t.walkQueue) > 0 && t.activeWalks < t.cfg.Walks {
+		next := t.walkQueue[0]
+		n := copy(t.walkQueue, t.walkQueue[1:])
+		t.walkQueue = t.walkQueue[:n]
+		t.mWalkDepth.Observe(len(t.walkQueue))
+		t.startWalk(next)
+	}
+	r.h.Handle(at, r.a, uint64(okBit))
+}
+
 // NewTLB builds a TLB over the backing store's page map.
 func NewTLB(eng *sim.Engine, clk sim.Clock, cfg TLBConfig, bk *Backing) *TLB {
 	t := &TLB{eng: eng, clk: clk, cfg: cfg, bk: bk}
+	t.l2HitH.t = t
+	t.walkDone.t = t
 	t.l1 = make([]tlbEntry, cfg.L1Entries)
 	sets := cfg.L2Entries / cfg.L2Ways
 	t.l2 = make([][]tlbEntry, sets)
@@ -142,72 +231,58 @@ func (t *TLB) insertLRU(set []tlbEntry, page uint64) {
 	*victim = tlbEntry{page: page, valid: true, lastUse: t.useClock}
 }
 
-// Translate resolves the page containing addr, then calls done with whether
-// the page is mapped. The callback may run immediately (L1 TLB hit) or
-// after L2/walk latency.
-func (t *TLB) Translate(addr uint64, done func(ok bool)) {
+// TranslateTo resolves the page containing addr, then fires h.Handle(at, a,
+// ok) where ok is 1 if the page is mapped and 0 on a fault. The handler may
+// run immediately (L1 TLB hit) or after L2/walk latency. This is the
+// allocation-free path: in-flight translations live in a recycled record
+// table and events carry record indices.
+func (t *TLB) TranslateTo(addr uint64, h sim.Handler, a uint64) {
 	t.Stats.Accesses++
 	page := PageAddr(addr)
 
 	if t.findAndTouch(t.l1, page) {
 		t.Stats.L1Hits++
-		done(true)
+		h.Handle(t.eng.Now(), a, 1)
 		return
 	}
 
 	set := t.l2[(page/PageSize)%uint64(len(t.l2))]
 	if t.findAndTouch(set, page) {
 		t.Stats.L2Hits++
-		t.eng.After(t.clk.Cycles(t.cfg.L2HitCycles), func() {
-			t.insertLRU(t.l1, page)
-			done(true)
-		})
+		ri := t.allocRec(page, h, a)
+		t.eng.ScheduleAfter(t.clk.Cycles(t.cfg.L2HitCycles), t.l2HitH, uint64(ri), 0)
 		return
 	}
 
-	start := func() {
-		t.activeWalks++
-		t.Stats.Walks++
-		slot := t.takeWalker()
-		walkStart := t.eng.Now()
-		t.eng.After(t.clk.Cycles(t.cfg.WalkCycles), func() {
-			t.activeWalks--
-			ok := t.bk.Mapped(page)
-			okBit := int32(0)
-			if ok {
-				okBit = 1
-			}
-			t.Bus.Emit(trace.Event{At: walkStart, Dur: t.clk.Cycles(t.cfg.WalkCycles),
-				Kind: trace.TLBWalk, Addr: page, A: slot, B: okBit})
-			if slot >= 0 && int(slot) < len(t.walkerBusy) {
-				t.walkerBusy[slot] = false
-			}
-			if ok {
-				t.insertLRU(t.l1, page)
-				t.insertLRU(set, page)
-			} else {
-				t.Stats.Faults++
-			}
-			// Hand the freed walker slot to the queue head BEFORE running
-			// the completion: done() may synchronously request another
-			// translation (the prefetch pump does), and letting it take
-			// the slot first starves queued demand walks indefinitely.
-			if len(t.walkQueue) > 0 && t.activeWalks < t.cfg.Walks {
-				next := t.walkQueue[0]
-				t.walkQueue = t.walkQueue[1:]
-				t.mWalkDepth.Observe(len(t.walkQueue))
-				next()
-			}
-			done(ok)
-		})
-	}
+	ri := t.allocRec(page, h, a)
 	if t.activeWalks >= t.cfg.Walks {
 		t.Stats.WalkQueue++
-		t.walkQueue = append(t.walkQueue, start)
+		t.walkQueue = append(t.walkQueue, ri)
 		t.mWalkDepth.Observe(len(t.walkQueue))
 		return
 	}
-	start()
+	t.startWalk(ri)
+}
+
+func (t *TLB) startWalk(ri int32) {
+	t.activeWalks++
+	t.Stats.Walks++
+	r := &t.recs[ri]
+	r.slot = t.takeWalker()
+	r.start = t.eng.Now()
+	t.eng.ScheduleAfter(t.clk.Cycles(t.cfg.WalkCycles), t.walkDone, uint64(ri), 0)
+}
+
+// transFunc adapts a func(ok bool) callback onto the typed translation path
+// without allocating (func values are pointer-shaped).
+type transFunc func(ok bool)
+
+func (f transFunc) Handle(_ sim.Ticks, _, b uint64) { f(b != 0) }
+
+// Translate resolves the page containing addr, then calls done with whether
+// the page is mapped. Closure compatibility shim over TranslateTo.
+func (t *TLB) Translate(addr uint64, done func(ok bool)) {
+	t.TranslateTo(addr, transFunc(done), 0)
 }
 
 // QueuedWalks reports translations waiting for a walker slot (diagnostics).

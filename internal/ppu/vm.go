@@ -59,6 +59,12 @@ func NewVM(prog []Instr, env *Env) *VM {
 	return &VM{prog: prog, env: env}
 }
 
+// Reset reinitialises m for a fresh invocation of prog, so one VM value can
+// be reused across kernel runs that never suspend (the non-blocked mode).
+func (m *VM) Reset(prog []Instr, env *Env) {
+	*m = VM{prog: prog, env: env}
+}
+
 // Cycles returns how many PPU cycles the kernel has consumed so far. Every
 // instruction costs one cycle except DIV, which costs eight (the
 // microcontroller-class cores have no fast divider).

@@ -140,8 +140,34 @@ type Prefetcher struct {
 	reqQueue []request
 	units    []unit
 
-	pending map[int]*pendingPF
-	nextObs int
+	pending  map[int]*pendingPF
+	pendFree []*pendingPF // recycled pendingPF structs
+	nextObs  int
+
+	// pumpRecs is the recycled table of requests whose TLB translation is in
+	// flight (the address must outlive the pending entry: a flush or drop can
+	// remove the pending mid-translation and the issue still needs the
+	// address). Translation events carry table indices.
+	pumpRecs []pumpRec
+	pumpFree []int32
+
+	// vm/env and the run* fields are the reused kernel-execution state for
+	// the non-blocked mode, where kernels always run to completion inside
+	// startKernel: one VM, one Env and one EmitPF closure (built in New)
+	// serve every invocation. Blocked mode (Figure 11) allocates per run,
+	// because a suspended VM's state must survive on the unit's stack.
+	vm         ppu.VM
+	env        ppu.Env
+	runID      int
+	runKernel  int
+	runStart   sim.Ticks
+	runTimedAt sim.Ticks
+	runEwma    int
+
+	enqueueH enqueueHandler
+	pumpH    pumpDoneHandler
+	inflH    inflightHandler
+	freeH    unitFreeHandler
 
 	ewma [8]ewmaGroup
 
@@ -149,6 +175,63 @@ type Prefetcher struct {
 	inFlight int // prefetch lookups issued to L1 whose MSHR is not yet held
 
 	Stats Stats
+}
+
+type pumpRec struct {
+	addr  uint64
+	obsID int
+}
+
+// enqueueHandler moves a generated prefetch into the request queue at its
+// timestamp; a is the address, b the observation id.
+type enqueueHandler struct{ p *Prefetcher }
+
+func (h enqueueHandler) Handle(_ sim.Ticks, a, b uint64) {
+	h.p.enqueueReq(request{addr: a, obsID: int(b)})
+}
+
+// inflightHandler releases a prefetch lookup's MSHR-headroom claim once the
+// cache pipeline has resolved it, then restarts the drain.
+type inflightHandler struct{ p *Prefetcher }
+
+func (h inflightHandler) Handle(sim.Ticks, uint64, uint64) {
+	h.p.inFlight--
+	h.p.pump()
+}
+
+// unitFreeHandler frees PPU a at the event time and refills it.
+type unitFreeHandler struct{ p *Prefetcher }
+
+func (h unitFreeHandler) Handle(at sim.Ticks, a, _ uint64) {
+	p := h.p
+	u := &p.units[a]
+	u.busy = false
+	u.busyTicks += at - u.busyStart
+	p.emit(trace.Event{Kind: trace.PFUnitFree, A: -1, C: int32(a)})
+	p.schedule()
+}
+
+func (p *Prefetcher) getPend() *pendingPF {
+	if n := len(p.pendFree); n > 0 {
+		q := p.pendFree[n-1]
+		p.pendFree[n-1] = nil
+		p.pendFree = p.pendFree[:n-1]
+		return q
+	}
+	return &pendingPF{}
+}
+
+func (p *Prefetcher) putPend(q *pendingPF) { p.pendFree = append(p.pendFree, q) }
+
+func (p *Prefetcher) allocPumpRec(addr uint64, obsID int) int32 {
+	if n := len(p.pumpFree); n > 0 {
+		ri := p.pumpFree[n-1]
+		p.pumpFree = p.pumpFree[:n-1]
+		p.pumpRecs[ri] = pumpRec{addr: addr, obsID: obsID}
+		return ri
+	}
+	p.pumpRecs = append(p.pumpRecs, pumpRec{addr: addr, obsID: obsID})
+	return int32(len(p.pumpRecs) - 1)
 }
 
 // New builds a prefetcher and hooks it into the L1 cache's snoop, fill,
@@ -169,6 +252,13 @@ func New(eng *sim.Engine, cfg Config, bk *mem.Backing, l1 *mem.Cache, tlb *mem.T
 	for i := range p.ewma {
 		p.ewma[i].init()
 	}
+	p.enqueueH.p = p
+	p.pumpH.p = p
+	p.inflH.p = p
+	p.freeH.p = p
+	p.env.Globals = &p.globals
+	p.env.Lookahead = p.lookahead
+	p.env.EmitPF = p.emitReused
 	l1.OnDemandAccess = p.onDemandLoad
 	l1.OnPrefetchFill = p.onPrefetchFill
 	l1.OnMSHRFree = p.pump
@@ -232,10 +322,11 @@ func (p *Prefetcher) Flush() {
 			u.busyTicks += now - u.busyStart
 			u.busy = false
 		}
-		u.stack = nil
+		u.stack = u.stack[:0]
 	}
-	for id := range p.pending {
+	for id, pend := range p.pending {
 		delete(p.pending, id)
+		p.putPend(pend)
 	}
 	for i := range p.ewma {
 		p.ewma[i].init()
@@ -274,11 +365,13 @@ func (p *Prefetcher) onDemandLoad(addr uint64, pc int, hit bool) {
 // resident). tag is the obsID of the pending request; filled distinguishes
 // a real memory fill from a resident hit.
 func (p *Prefetcher) onPrefetchFill(line uint64, tag int, _ sim.Ticks, filled bool) {
-	pend, ok := p.pending[tag]
+	pendPtr, ok := p.pending[tag]
 	if !ok {
 		return
 	}
 	delete(p.pending, tag)
+	pend := *pendPtr // copy, then recycle: callees below may reuse the struct
+	p.putPend(pendPtr)
 	now := p.eng.Now()
 	p.Stats.FillObservations++
 	filledBit := int32(0)
@@ -399,6 +492,25 @@ func (p *Prefetcher) startKernel(id int, kernel int, addr uint64, timedAt sim.Ti
 		start += p.cfg.PPUClock.Cycles(int64(ppu.EncodedSize(prog)/4) + 50)
 	}
 
+	if !p.cfg.Blocked {
+		// Non-blocked kernels always run to completion right here, so the
+		// single reused VM/Env pair (and the EmitPF closure built in New,
+		// reading the run* fields) serves every invocation without allocating.
+		p.env.VAddr = addr
+		p.env.Line = p.captureLine(addr)
+		p.runID, p.runKernel = id, kernel
+		p.runStart, p.runTimedAt, p.runEwma = start, timedAt, ewma
+		p.vm.Reset(prog, &p.env)
+		p.Stats.KernelRuns++
+		p.emit(trace.Event{Kind: trace.PFKernel, Addr: addr, A: int32(kernel), C: int32(id)})
+		p.vm.Run()
+		if p.vm.Faulted() {
+			p.Stats.KernelFaults++
+		}
+		p.finishUnit(id, start+p.cfg.PPUClock.Cycles(p.vm.Cycles()))
+		return
+	}
+
 	env := &ppu.Env{
 		VAddr:     addr,
 		Line:      p.captureLine(addr),
@@ -422,32 +534,46 @@ func (p *Prefetcher) startKernel(id int, kernel int, addr uint64, timedAt sim.Ti
 	p.finishUnit(id, start+p.cfg.PPUClock.Cycles(vm.Cycles()))
 }
 
+// emitReused is the EmitPF callback for the reused non-blocked VM; the
+// invocation context lives in the run* fields, which are valid for the whole
+// synchronous vm.Run.
+func (p *Prefetcher) emitReused(addr uint64, tag int, cycle int64) bool {
+	return p.emitPF(p.runID, p.runKernel, p.runStart, p.runTimedAt, p.runEwma, addr, tag, cycle)
+}
+
 // emitFunc builds the EmitPF callback for an invocation of kernel started
 // at tick start on unit id.
 func (p *Prefetcher) emitFunc(id, kernel int, start sim.Ticks, timedAt sim.Ticks, ewma int) func(uint64, int, int64) bool {
 	return func(addr uint64, tag int, cycle int64) bool {
-		p.Stats.PFGenerated++
-		at := start + p.cfg.PPUClock.Cycles(cycle)
-		if at < p.eng.Now() {
-			at = p.eng.Now()
-		}
-		chain := NoKernel
-		if tag != ppu.NoTag {
-			chain = tag
-		}
-		obsID := p.nextObs
-		p.nextObs++
-		p.emit(trace.Event{Kind: trace.PFGenerate, Addr: addr, ID: int64(obsID),
-			A: int32(kernel), B: int32(tag), C: int32(id)})
-		pend := &pendingPF{addr: addr, chain: chain, timedAt: timedAt, ewma: ewma, blockedPPU: -1, createdAt: p.eng.Now()}
-		block := p.cfg.Blocked && chain != NoKernel
-		if block {
-			pend.blockedPPU = id
-		}
-		p.pending[obsID] = pend
-		p.eng.At(at, func() { p.enqueueReq(request{addr: addr, obsID: obsID}) })
-		return block
+		return p.emitPF(id, kernel, start, timedAt, ewma, addr, tag, cycle)
 	}
+}
+
+// emitPF registers one generated prefetch: a recycled pending entry plus a
+// timestamped enqueue event carrying (addr, obsID) as payload words.
+func (p *Prefetcher) emitPF(id, kernel int, start, timedAt sim.Ticks, ewma int, addr uint64, tag int, cycle int64) bool {
+	p.Stats.PFGenerated++
+	at := start + p.cfg.PPUClock.Cycles(cycle)
+	if at < p.eng.Now() {
+		at = p.eng.Now()
+	}
+	chain := NoKernel
+	if tag != ppu.NoTag {
+		chain = tag
+	}
+	obsID := p.nextObs
+	p.nextObs++
+	p.emit(trace.Event{Kind: trace.PFGenerate, Addr: addr, ID: int64(obsID),
+		A: int32(kernel), B: int32(tag), C: int32(id)})
+	pend := p.getPend()
+	*pend = pendingPF{addr: addr, chain: chain, timedAt: timedAt, ewma: ewma, blockedPPU: -1, createdAt: p.eng.Now()}
+	block := p.cfg.Blocked && chain != NoKernel
+	if block {
+		pend.blockedPPU = id
+	}
+	p.pending[obsID] = pend
+	p.eng.Schedule(at, p.enqueueH, addr, uint64(obsID))
+	return block
 }
 
 func (p *Prefetcher) enqueueReq(r request) {
@@ -499,51 +625,59 @@ func (p *Prefetcher) pump() {
 	p.reqQueue = p.reqQueue[:len(p.reqQueue)-1]
 	p.mReqDepth.Observe(len(p.reqQueue))
 
-	p.tlb.Translate(r.addr, func(ok bool) {
-		p.pumping--
-		if !ok {
-			// Page-table miss: discard rather than fault (§5.3).
-			p.Stats.TLBDrops++
-			p.dropPending(r.obsID, trace.DropTLB)
-		} else if p.l1.FreeMSHRs()-p.inFlight <= 0 {
-			p.Stats.MSHRDrops++
-			p.dropPending(r.obsID, trace.DropMSHR)
-		} else {
-			p.Stats.Issued++
-			p.emit(trace.Event{Kind: trace.PFIssue, Addr: r.addr, ID: int64(r.obsID), C: -1})
-			pend := p.pending[r.obsID]
-			var timed sim.Ticks = -1
-			if pend != nil {
-				timed = pend.timedAt
-				p.Stats.IssueLatencySum += p.eng.Now() - pend.createdAt
-				p.Stats.IssueCount++
-			}
-			p.inFlight++
-			obsID := r.obsID
-			p.l1.Access(&mem.Request{
-				Addr: r.addr, Kind: mem.Prefetch, PC: -1,
-				Tag: obsID, TimedAt: timed,
-				Done: func(sim.Ticks) {},
-			})
-			// The lookup holds its claim for the cache's hit latency;
-			// afterwards the MSHR (or a hit) has resolved it.
-			p.eng.After(p.l1Lookup(), func() {
-				p.inFlight--
-				p.pump()
-			})
+	ri := p.allocPumpRec(r.addr, r.obsID)
+	p.tlb.TranslateTo(r.addr, p.pumpH, uint64(ri))
+}
+
+// pumpDoneHandler receives a prefetch request's translation; a is the pump
+// record index, ok the mapped bit.
+type pumpDoneHandler struct{ p *Prefetcher }
+
+func (h pumpDoneHandler) Handle(_ sim.Ticks, a, ok uint64) {
+	p := h.p
+	r := p.pumpRecs[a]
+	p.pumpRecs[a] = pumpRec{}
+	p.pumpFree = append(p.pumpFree, int32(a))
+	p.pumping--
+	if ok == 0 {
+		// Page-table miss: discard rather than fault (§5.3).
+		p.Stats.TLBDrops++
+		p.dropPending(r.obsID, trace.DropTLB)
+	} else if p.l1.FreeMSHRs()-p.inFlight <= 0 {
+		p.Stats.MSHRDrops++
+		p.dropPending(r.obsID, trace.DropMSHR)
+	} else {
+		p.Stats.Issued++
+		p.emit(trace.Event{Kind: trace.PFIssue, Addr: r.addr, ID: int64(r.obsID), C: -1})
+		pend := p.pending[r.obsID]
+		var timed sim.Ticks = -1
+		if pend != nil {
+			timed = pend.timedAt
+			p.Stats.IssueLatencySum += p.eng.Now() - pend.createdAt
+			p.Stats.IssueCount++
 		}
-		p.pump()
-	})
+		p.inFlight++
+		req := p.l1.Pool.Get()
+		req.Addr, req.Kind, req.PC = r.addr, mem.Prefetch, -1
+		req.Tag, req.TimedAt = r.obsID, timed
+		p.l1.Access(req)
+		// The lookup holds its claim for the cache's hit latency;
+		// afterwards the MSHR (or a hit) has resolved it.
+		p.eng.ScheduleAfter(p.l1Lookup(), p.inflH, 0, 0)
+	}
+	p.pump()
 }
 
 // dropPending abandons a pending tagged request; in blocked mode the
 // suspended PPU must be resumed or it would wait forever.
 func (p *Prefetcher) dropPending(obsID int, reason int32) {
-	pend, ok := p.pending[obsID]
+	pendPtr, ok := p.pending[obsID]
 	if !ok {
 		return
 	}
 	delete(p.pending, obsID)
+	pend := *pendPtr
+	p.putPend(pendPtr)
 	p.emit(trace.Event{Kind: trace.PFDrop, Addr: pend.addr, ID: int64(obsID),
 		A: reason, C: -1})
 	if pend.blockedPPU >= 0 {
@@ -607,13 +741,7 @@ func (p *Prefetcher) finishUnit(id int, at sim.Ticks) {
 	if at < p.eng.Now() {
 		at = p.eng.Now()
 	}
-	p.eng.At(at, func() {
-		u := &p.units[id]
-		u.busy = false
-		u.busyTicks += at - u.busyStart
-		p.emit(trace.Event{Kind: trace.PFUnitFree, A: -1, C: int32(id)})
-		p.schedule()
-	})
+	p.eng.Schedule(at, p.freeH, uint64(id), 0)
 }
 
 func (p *Prefetcher) l1Lookup() sim.Ticks { return p.l1.LookupLatency() }

@@ -19,9 +19,9 @@ func (s *stubLevel) Access(req *mem.Request) {
 		return
 	}
 	s.reads++
-	if req.Done != nil {
-		done := req.Done
-		s.eng.After(s.latency, func() { done(s.eng.Now()) })
+	if h := req.Completer(); h != nil {
+		a := req.CompA
+		s.eng.After(s.latency, func() { h.Handle(s.eng.Now(), a, 0) })
 	}
 }
 

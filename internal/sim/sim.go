@@ -47,10 +47,35 @@ func (c Clock) NextEdge(t Ticks) Ticks {
 	return t + c.Period - r
 }
 
+// Handler is the closure-free event target: the steady-state scheduling path
+// carries a Handler plus two payload words instead of a heap-allocated
+// closure. Implementations are typically two-word adapter structs embedded by
+// value in a component, so taking their address converts to Handler without
+// allocating, and the payload words name a pool slot, a queue entry, an
+// address, or an id — whatever the handler needs to find its state.
+//
+// The same interface doubles as the memory system's completion callback type
+// (mem.Request routes completions through it), so one mechanism covers both
+// "run this later" and "tell me when this finishes".
+type Handler interface {
+	// Handle runs the event. at is the firing time (the engine's Now for
+	// scheduled events, the completion time for request completions); a and b
+	// carry payload whose meaning the handler defines.
+	Handle(at Ticks, a, b uint64)
+}
+
+// funcHandler adapts the legacy closure API onto the typed path. func values
+// are pointer-shaped, so the interface conversion itself does not allocate —
+// only the closure the caller already built does.
+type funcHandler func()
+
+func (f funcHandler) Handle(Ticks, uint64, uint64) { f() }
+
 type event struct {
-	at  Ticks
-	seq uint64 // tie-break so simultaneous events run in schedule order
-	fn  func()
+	at   Ticks
+	seq  uint64 // tie-break so simultaneous events run in schedule order
+	a, b uint64 // handler payload
+	h    Handler
 }
 
 // before is the heap ordering: earliest time first, schedule order within a
@@ -95,7 +120,7 @@ func (q *eventQueue) pop() event {
 	top := q.ev[0]
 	n := len(q.ev) - 1
 	q.ev[0] = q.ev[n]
-	q.ev[n] = event{} // release the closure so finished events can be GC'd
+	q.ev[n] = event{} // release the handler so finished events can be GC'd
 	q.ev = q.ev[:n]
 	i := 0
 	for {
@@ -133,14 +158,28 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulated time.
 func (e *Engine) Now() Ticks { return e.now }
 
-// At schedules fn to run at time t. Scheduling in the past panics: it would
-// silently corrupt causality.
-func (e *Engine) At(t Ticks, fn func()) {
+// Schedule arranges for h.Handle(t, a, b) to run at time t. This is the
+// allocation-free path: the event carries the handler and payload words
+// directly, so steady-state scheduling touches no heap. Scheduling in the
+// past panics: it would silently corrupt causality.
+func (e *Engine) Schedule(t Ticks, h Handler, a, b uint64) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	e.queue.push(event{at: t, seq: e.seq, fn: fn})
+	e.queue.push(event{at: t, seq: e.seq, a: a, b: b, h: h})
+}
+
+// ScheduleAfter is Schedule at d ticks from now.
+func (e *Engine) ScheduleAfter(d Ticks, h Handler, a, b uint64) {
+	e.Schedule(e.now+d, h, a, b)
+}
+
+// At schedules fn to run at time t. This is the closure compatibility shim
+// over Schedule: each call costs the closure allocation the caller built, so
+// hot paths should implement Handler and call Schedule instead.
+func (e *Engine) At(t Ticks, fn func()) {
+	e.Schedule(t, funcHandler(fn), 0, 0)
 }
 
 // After schedules fn to run d ticks from now.
@@ -156,7 +195,7 @@ func (e *Engine) Step() bool {
 	}
 	ev := e.queue.pop()
 	e.now = ev.at
-	ev.fn()
+	ev.h.Handle(ev.at, ev.a, ev.b)
 	return true
 }
 

@@ -154,27 +154,21 @@ func New(cfg Config, scheme Scheme) *Machine {
 		m.GHBU = baseline.NewGHB(eng, baseline.LargeGHBConfig(), l1, tlb)
 	}
 
+	g := newPortGlue(tlb, l1)
+	l1.Pool, l2.Pool, dram.Pool = g.pool, g.pool, g.pool
 	ports := cpu.Ports{
-		Load: func(addr uint64, pc int, done func(sim.Ticks)) {
-			tlb.Translate(addr, func(ok bool) {
-				if !ok {
-					panic(fmt.Sprintf("system: demand load to unmapped address %#x", addr))
-				}
-				l1.Access(&mem.Request{Addr: addr, Kind: mem.Load, PC: pc,
-					Tag: mem.NoTag, TimedAt: -1, Done: done})
-			})
+		Load: func(addr uint64, pc int, h sim.Handler, a uint64) {
+			ri := g.alloc(addr, pc, h, a)
+			tlb.TranslateTo(addr, g.loadH, uint64(ri))
 		},
 		Store: func(addr uint64, pc int) {
-			l1.Access(&mem.Request{Addr: addr, Kind: mem.Store, PC: pc,
-				Tag: mem.NoTag, TimedAt: -1})
+			req := g.pool.Get()
+			req.Addr, req.Kind, req.PC = addr, mem.Store, pc
+			req.Tag, req.TimedAt = mem.NoTag, -1
+			l1.Access(req)
 		},
 		SWPrefetch: func(addr uint64) {
-			tlb.Translate(addr, func(ok bool) {
-				if ok && l1.FreeMSHRs() > 0 {
-					l1.Access(&mem.Request{Addr: addr, Kind: mem.Prefetch, PC: -1,
-						Tag: mem.NoTag, TimedAt: -1})
-				}
-			})
+			tlb.TranslateTo(addr, g.swpfH, addr)
 		},
 	}
 	m.Core = cpu.New(eng, cpu.Config{
@@ -182,6 +176,85 @@ func New(cfg Config, scheme Scheme) *Machine {
 		MispredictPenalty: cfg.MispredictPenalty,
 	}, ports)
 	return m
+}
+
+// portGlue is the allocation-free bridge between the core's memory ports and
+// the TLB/L1. It owns the machine-wide request pool and a recycled table of
+// in-flight demand loads (the address, PC and completion target that must
+// survive the TLB latency); translation events carry table indices.
+type portGlue struct {
+	tlb  *mem.TLB
+	l1   *mem.Cache
+	pool *mem.Pool
+
+	recs []loadRec
+	free []int32
+
+	loadH loadTransHandler
+	swpfH swpfTransHandler
+}
+
+type loadRec struct {
+	addr uint64
+	pc   int
+	h    sim.Handler
+	a    uint64
+}
+
+func newPortGlue(tlb *mem.TLB, l1 *mem.Cache) *portGlue {
+	g := &portGlue{tlb: tlb, l1: l1, pool: mem.NewPool()}
+	g.loadH.g = g
+	g.swpfH.g = g
+	return g
+}
+
+func (g *portGlue) alloc(addr uint64, pc int, h sim.Handler, a uint64) int32 {
+	if n := len(g.free); n > 0 {
+		ri := g.free[n-1]
+		g.free = g.free[:n-1]
+		g.recs[ri] = loadRec{addr: addr, pc: pc, h: h, a: a}
+		return ri
+	}
+	g.recs = append(g.recs, loadRec{addr: addr, pc: pc, h: h, a: a})
+	return int32(len(g.recs) - 1)
+}
+
+func (g *portGlue) freeRec(ri int32) {
+	g.recs[ri] = loadRec{} // drop the handler reference eagerly
+	g.free = append(g.free, ri)
+}
+
+// loadTransHandler receives a demand load's translation (a = record index)
+// and forwards the load into L1.
+type loadTransHandler struct{ g *portGlue }
+
+func (h loadTransHandler) Handle(_ sim.Ticks, a, ok uint64) {
+	g := h.g
+	r := g.recs[a]
+	g.freeRec(int32(a))
+	if ok == 0 {
+		panic(fmt.Sprintf("system: demand load to unmapped address %#x", r.addr))
+	}
+	req := g.pool.Get()
+	req.Addr, req.Kind, req.PC = r.addr, mem.Load, r.pc
+	req.Tag, req.TimedAt = mem.NoTag, -1
+	req.Comp, req.CompA = r.h, r.a
+	g.l1.Access(req)
+}
+
+// swpfTransHandler receives a software prefetch's translation (a = address);
+// faulting or MSHR-less prefetches are silently dropped, as in hardware.
+type swpfTransHandler struct{ g *portGlue }
+
+func (h swpfTransHandler) Handle(_ sim.Ticks, a, ok uint64) {
+	g := h.g
+	if ok == 0 || g.l1.FreeMSHRs() == 0 {
+		return
+	}
+	req := g.pool.Get()
+	req.Addr, req.Kind, req.PC = a, mem.Prefetch, -1
+	req.Tag, req.TimedAt = mem.NoTag, -1
+	g.l1.Access(req)
 }
 
 // AttachTrace points every timed component at bus. Call before Run; the

@@ -6,9 +6,14 @@
 #   scripts/bench.sh                 # all benchmarks, 1 iteration each
 #   scripts/bench.sh 'BenchmarkFig7' # filter by regexp
 #   BENCHTIME=3x scripts/bench.sh    # more iterations
+#   SHORT=1 scripts/bench.sh         # -short: reduced-scale figures (CI perf job)
+#   STAMP=20260806b scripts/bench.sh # override the output stamp (e.g. a second
+#                                    # measurement on the same day)
 #
-# Output: BENCH_<yyyymmdd>.json in the repo root:
-# {"meta": {"git_sha", "date", "go_version"},
+# Output: BENCH_<stamp>.json in the repo root (stamp defaults to yyyymmdd,
+# with "-short" appended under SHORT=1 so short runs are never mistaken for
+# full-scale baselines):
+# {"meta": {"git_sha", "date", "go_version", "short"},
 #  "benchmarks": [{"name", "iterations", "metrics": {"ns/op": ...}}, ...]}
 # plus the raw benchmark text alongside it. The meta block makes any two
 # BENCH files comparable without consulting the shell history that made them.
@@ -17,7 +22,16 @@ cd "$(dirname "$0")/.."
 
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1x}"
-stamp="$(date +%Y%m%d)"
+short="${SHORT:-}"
+shortflag=""
+shortmeta="false"
+defstamp="$(date +%Y%m%d)"
+if [ -n "$short" ]; then
+    shortflag="-short"
+    shortmeta="true"
+    defstamp="${defstamp}-short"
+fi
+stamp="${STAMP:-$defstamp}"
 raw="BENCH_${stamp}.txt"
 out="BENCH_${stamp}.json"
 
@@ -28,11 +42,12 @@ fi
 iso_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 go_version="$(go env GOVERSION)"
 
-go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem . | tee "$raw"
+# shellcheck disable=SC2086 # $shortflag is deliberately empty or "-short"
+go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem $shortflag . | tee "$raw"
 
-awk -v git_sha="$git_sha" -v iso_date="$iso_date" -v go_version="$go_version" '
+awk -v git_sha="$git_sha" -v iso_date="$iso_date" -v go_version="$go_version" -v short="$shortmeta" '
 BEGIN {
-    printf "{\"meta\":{\"git_sha\":\"%s\",\"date\":\"%s\",\"go_version\":\"%s\"},\n", git_sha, iso_date, go_version
+    printf "{\"meta\":{\"git_sha\":\"%s\",\"date\":\"%s\",\"go_version\":\"%s\",\"short\":%s},\n", git_sha, iso_date, go_version, short
     print "\"benchmarks\":["
 }
 /^Benchmark/ {
