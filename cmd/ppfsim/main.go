@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"eventpf/internal/harness"
+	"eventpf/internal/system"
 	"eventpf/internal/trace"
 	"eventpf/internal/workloads"
 )
@@ -35,6 +36,13 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the run to this file")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry (counters + queue-occupancy histograms) after the run")
 		jsonOut   = flag.Bool("json", false, "emit the full result record as JSON")
+		sample    = flag.Bool("sample", false, "run under SMARTS-style interval sampling (detailed intervals + functionally-warmed fast-forward)")
+		sWarm     = flag.Int64("sample-warm", 0, "with -sample, detailed warmup ops before each measurement interval (0 = default)")
+		sMeasure  = flag.Int64("sample-measure", 0, "with -sample, measured ops per detailed interval (0 = default)")
+		sFF       = flag.Int64("sample-ff", 0, "with -sample, fast-forwarded ops between detailed intervals (0 = default)")
+		ckptOut   = flag.String("checkpoint-out", "", "simulate -checkpoint-ops micro-ops, write a resumable checkpoint to this file, and exit")
+		ckptOps   = flag.Int64("checkpoint-ops", 0, "with -checkpoint-out, how many retired micro-ops to simulate before checkpointing")
+		ckptIn    = flag.String("checkpoint-in", "", "resume the run described by this checkpoint file and complete it")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
@@ -77,6 +85,22 @@ func main() {
 		}()
 	}
 
+	if *ckptIn != "" {
+		f, err := os.Open(*ckptIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := harness.ResumeCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
+			os.Exit(1)
+		}
+		emitResult(res, *jsonOut)
+		return
+	}
+
 	b, err := workloads.ByName(*benchName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
@@ -90,6 +114,40 @@ func main() {
 	}
 
 	opt := harness.Options{Scale: *scale, PPUs: *ppus, PPUMHz: *ppuMHz, TraceLast: *traceN, Parallel: *parallel}
+	if *sample {
+		sc := system.DefaultSampleConfig()
+		if *sWarm > 0 {
+			sc.WarmupOps = *sWarm
+		}
+		if *sMeasure > 0 {
+			sc.MeasureOps = *sMeasure
+		}
+		if *sFF > 0 {
+			sc.FFOps = *sFF
+		}
+		opt.Sample = &sc
+	}
+
+	if *ckptOut != "" {
+		spec := harness.JobSpec{Bench: b.Name, Scheme: scheme.String(),
+			Scale: *scale, PPUs: *ppus, PPUMHz: *ppuMHz}
+		f, err := os.Create(*ckptOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
+			os.Exit(1)
+		}
+		cp, err := harness.SaveCheckpoint(f, spec, *ckptOps)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint: %s %s at %d ops (digest %016x) written to %s\n",
+			cp.Job.Bench, cp.Job.Scheme, cp.WarmupOps, cp.Digest, *ckptOut)
+		return
+	}
 
 	var collector *trace.Collector
 	if *traceOut != "" {
@@ -164,6 +222,19 @@ func main() {
 	}
 }
 
+// emitResult prints a standalone result (checkpoint resumes) in the same
+// JSON or text form the normal path uses.
+func emitResult(res harness.Result, jsonOut bool) {
+	if jsonOut {
+		if err := harness.EncodeResult(os.Stdout, res); err != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printResult(res)
+}
+
 func writeChromeTrace(path string, events []trace.Event, lay trace.Layout) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -207,5 +278,9 @@ func printResult(r harness.Result) {
 	if r.Pass != nil {
 		fmt.Printf("compiler pass  %12d chains converted, %d failed, %d kernels\n",
 			r.Pass.Converted, r.Pass.Failed, len(r.Pass.Kernels))
+	}
+	if s := r.Sampled; s != nil {
+		fmt.Printf("sampled        %12d of %d ops detailed (%d intervals)\nest. cycles    %12d\n",
+			s.DetailedOps, s.TotalOps, s.Intervals, s.EstimatedCycles)
 	}
 }

@@ -1,0 +1,61 @@
+package baseline
+
+import (
+	"fmt"
+
+	"eventpf/internal/sim"
+)
+
+// Fork support: the baseline prefetchers hold plain value state (tables,
+// queues, counters) plus one handler adapter each (the issuer's translation
+// handler); their L1 snoop closures are rebuilt identically by the fork's
+// own constructors, so only state is copied.
+
+func (is *issuer) registerFork(src *issuer, remap *sim.Remap) {
+	remap.Register(src.transH, is.transH)
+}
+
+func (is *issuer) copyStateFrom(src *issuer) {
+	is.queue = append(is.queue[:0], src.queue...)
+	is.pumping = src.pumping
+	is.stats = src.stats
+}
+
+// RegisterFork records the stride prefetcher's handler pair for a fork.
+func (s *Stride) RegisterFork(src *Stride, remap *sim.Remap) {
+	s.is.registerFork(src.is, remap)
+}
+
+// CopyStateFrom copies src's prediction table and issuer state.
+func (s *Stride) CopyStateFrom(src *Stride) error {
+	if len(s.table) != len(src.table) {
+		return fmt.Errorf("baseline: fork of stride prefetcher into different table size")
+	}
+	copy(s.table, src.table)
+	s.is.copyStateFrom(src.is)
+	return nil
+}
+
+// RegisterFork records the GHB prefetcher's handler pair for a fork.
+func (g *GHB) RegisterFork(src *GHB, remap *sim.Remap) {
+	g.is.registerFork(src.is, remap)
+}
+
+// CopyStateFrom copies src's history buffer, index and issuer state.
+func (g *GHB) CopyStateFrom(src *GHB) error {
+	if cap(g.ghb) != cap(src.ghb) {
+		return fmt.Errorf("baseline: fork of GHB prefetcher into different buffer size")
+	}
+	g.ghb = append(g.ghb[:0], src.ghb...)
+	g.head = src.head
+	g.count = src.count
+	for line := range g.index {
+		delete(g.index, line)
+	}
+	for line, pos := range src.index {
+		g.index[line] = pos
+	}
+	g.indexAge = append(g.indexAge[:0], src.indexAge...)
+	g.is.copyStateFrom(src.is)
+	return nil
+}

@@ -1,0 +1,55 @@
+package cpu
+
+import "eventpf/internal/sim"
+
+// RegisterFork records the core's five handler adapters as counterparts of
+// src's, so pending tick/launch/completion events and MSHR waiter lists
+// captured from the parent resolve to this core after a machine fork.
+func (c *Core) RegisterFork(src *Core, remap *sim.Remap) {
+	remap.Register(src.tickH, c.tickH)
+	remap.Register(src.launchH, c.launchH)
+	remap.Register(src.loadDoneH, c.loadDoneH)
+	remap.Register(src.storeH, c.storeH)
+	remap.Register(src.swpfH, c.swpfH)
+}
+
+// CopyStateFrom copies src's complete execution state — window, completion
+// rings, in-flight counts, stall/redirect state, branch predictor and stats.
+// The micro-op stream and completion callback cannot be copied (both are
+// bound to parent-owned state), so the caller supplies the fork's own:
+// stream must be a clone of src's stream positioned at the same op, or nil
+// if src's stream was already exhausted.
+func (c *Core) CopyStateFrom(src *Core, stream Stream, onDone func()) {
+	c.pendingOp = src.pendingOp // only loads/stores park here; Do is always nil
+	c.hasPending = src.hasPending
+	c.nextID = src.nextID
+	copy(c.rob, src.rob)
+	c.robHead = src.robHead
+	c.robN = src.robN
+	c.completion = src.completion
+	c.known = src.known
+	c.ringAddr = src.ringAddr
+	c.ringPC = src.ringPC
+	c.inflightLd = src.inflightLd
+	c.inflightSt = src.inflightSt
+	c.stallUntil = src.stallUntil
+	c.redirectPending = src.redirectPending
+	c.tickPending = src.tickPending
+	c.done = src.done
+	c.stream = stream
+	c.onDone = onDone
+	c.bp.history = src.bp.history
+	copy(c.bp.table, src.bp.table)
+	c.Stats = src.Stats
+}
+
+// StreamActive reports whether the core still holds a live micro-op stream
+// (false once the stream has been exhausted), so a fork knows whether it
+// must clone the stream.
+func (c *Core) StreamActive() bool { return c.stream != nil }
+
+// WarmBranch trains the branch predictor on a branch consumed during
+// sampling fast-forward (functional warming): predictor state advances
+// exactly as a detailed dispatch would have advanced it, but no prediction
+// outcome is acted on and no timing state changes.
+func (c *Core) WarmBranch(pc int, taken bool) { c.bp.predictAndUpdate(pc, taken) }

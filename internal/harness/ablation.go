@@ -22,6 +22,11 @@ type AblationRow struct {
 // count shared with demand traffic. The mutated-Config runs cannot use the
 // suite memo, so they fan out directly on the worker pool; rows come back
 // in the fixed job order regardless of completion order.
+//
+// Queue-depth cells differ only in the prefetcher's queue limits, which a
+// machine fork may change, so they share one warmed parent instead of each
+// re-simulating the warmup; MSHR cells change cache geometry and run in
+// full.
 func (s *Suite) Ablations() ([]AblationRow, error) {
 	b := workloads.HJ8
 	base, err := s.run(b, NoPF)
@@ -30,31 +35,65 @@ func (s *Suite) Ablations() ([]AblationRow, error) {
 	}
 
 	type job struct {
-		param  string
-		value  int
-		mutate func(cfg *system.Config)
+		param    string
+		value    int
+		forkable bool
+		mutate   func(cfg *system.Config)
 	}
 	var jobs []job
 	for _, q := range []int{5, 10, 40, 160} {
 		q := q
-		jobs = append(jobs, job{"obs-queue", q, func(cfg *system.Config) { cfg.Prefetcher.ObsQueue = q }})
+		jobs = append(jobs, job{"obs-queue", q, true, func(cfg *system.Config) { cfg.Prefetcher.ObsQueue = q }})
 	}
 	for _, q := range []int{25, 50, 200, 800} {
 		q := q
-		jobs = append(jobs, job{"req-queue", q, func(cfg *system.Config) { cfg.Prefetcher.ReqQueue = q }})
+		jobs = append(jobs, job{"req-queue", q, true, func(cfg *system.Config) { cfg.Prefetcher.ReqQueue = q }})
 	}
 	for _, m := range []int{6, 12, 24} {
 		m := m
-		jobs = append(jobs, job{"l1-mshrs", m, func(cfg *system.Config) { cfg.L1.MSHRs = m }})
+		jobs = append(jobs, job{"l1-mshrs", m, false, func(cfg *system.Config) { cfg.L1.MSHRs = m }})
 	}
 
-	rows := make([]AblationRow, len(jobs))
-	err = s.fanOut(len(jobs), func(i int) error {
+	cellOpt := func(i int) Options {
 		cfg := system.DefaultConfig()
 		jobs[i].mutate(&cfg)
 		opt := s.Opt
 		opt.Config = &cfg
-		r, err := Run(b, Manual, opt)
+		return opt
+	}
+
+	// One warmup serves every forkable cell.
+	warmOpt := s.Opt
+	dcfg := system.DefaultConfig()
+	warmOpt.Config = &dcfg
+	s.sem <- struct{}{}
+	w, err := Warm(b, Manual, warmOpt, base.Core.Ops/2)
+	<-s.sem
+	if err != nil {
+		return nil, err
+	}
+	conts := make([]*RunCont, len(jobs))
+	if !w.Done() {
+		for i, j := range jobs {
+			if !j.forkable {
+				continue
+			}
+			conts[i], err = w.Fork(ConfigFor(cellOpt(i), Manual))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	rows := make([]AblationRow, len(jobs))
+	err = s.fanOut(len(jobs), func(i int) error {
+		var r Result
+		var err error
+		if conts[i] != nil {
+			r, err = conts[i].Finish()
+		} else {
+			r, err = Run(b, Manual, cellOpt(i))
+		}
 		if err != nil {
 			return err
 		}

@@ -93,6 +93,11 @@ type Options struct {
 	// 0 means GOMAXPROCS. Run itself is always a single simulation on the
 	// calling goroutine — each Machine stays confined to one goroutine.
 	Parallel int
+	// Sample, if non-nil, runs under SMARTS-style interval sampling: only
+	// the configured detailed intervals are simulated in timing detail, the
+	// rest executes functionally with cache/TLB/predictor warming. The
+	// result's Sampled field reports the whole-program cycle estimate.
+	Sample *system.SampleConfig
 }
 
 // Result is one benchmark × scheme measurement.
@@ -109,6 +114,37 @@ type Result struct {
 // Run executes one benchmark under one scheme and validates the result
 // against the benchmark's oracle.
 func Run(b *workloads.Benchmark, scheme Scheme, opt Options) (Result, error) {
+	rs, err := prepare(b, scheme, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	var sys system.Result
+	if opt.Sample != nil {
+		sys = rs.m.RunSampled(rs.stream, *opt.Sample)
+	} else {
+		sys = rs.m.Run(rs.stream)
+	}
+	return rs.collect(sys)
+}
+
+// runSetup is a prepared but not yet completed run: the assembled machine,
+// its micro-op stream, and everything the post-run oracle check and result
+// assembly need. It is the unit the fork/checkpoint machinery hands around —
+// a fork produces a new runSetup over the cloned machine and stream.
+type runSetup struct {
+	b      *workloads.Benchmark
+	scheme Scheme
+	m      *system.Machine
+	stream *seq
+	inst   *workloads.Instance
+	tracer *prefetch.RingTracer
+	pass   *compiler.Result
+}
+
+// prepare assembles the machine, applies the scheme's compiler pass or
+// manual kernels, and builds the micro-op stream, stopping just short of
+// running anything.
+func prepare(b *workloads.Benchmark, scheme Scheme, opt Options) (*runSetup, error) {
 	if opt.Scale == 0 {
 		opt.Scale = 1.0
 	}
@@ -116,11 +152,11 @@ func Run(b *workloads.Benchmark, scheme Scheme, opt Options) (Result, error) {
 
 	m := system.New(cfg, machineScheme(scheme))
 	inst := b.Build(m, opt.Scale)
+	rs := &runSetup{b: b, scheme: scheme, m: m, inst: inst}
 
-	var tracer *prefetch.RingTracer
 	if opt.TraceLast > 0 && m.PF != nil {
-		tracer = prefetch.NewRingTracer(opt.TraceLast)
-		m.PF.Tracer = tracer
+		rs.tracer = prefetch.NewRingTracer(opt.TraceLast)
+		m.PF.Tracer = rs.tracer
 	}
 	if opt.TraceSink != nil {
 		m.AttachTrace(trace.NewBus(opt.TraceSink))
@@ -131,56 +167,62 @@ func Run(b *workloads.Benchmark, scheme Scheme, opt Options) (Result, error) {
 
 	fn := inst.BuildFn(variantFor(scheme))
 	if fn == nil {
-		return Result{}, ErrUnsupported
+		return nil, ErrUnsupported
 	}
 	if len(inst.Runs) == 0 {
 		// Without this guard the post-run oracle check would dereference a
 		// nil final interpreter.
-		return Result{}, fmt.Errorf("harness: %s: benchmark instance has no runs", b.Name)
+		return nil, fmt.Errorf("harness: %s: benchmark instance has no runs", b.Name)
 	}
 
-	res := Result{Benchmark: b.Name, Scheme: scheme}
 	switch scheme {
 	case Converted:
 		pass, err := compiler.ConvertSoftwarePrefetches(fn, compiler.NewAlloc())
 		if err != nil {
-			return res, fmt.Errorf("%s: conversion pass: %w", b.Name, err)
+			return nil, fmt.Errorf("%s: conversion pass: %w", b.Name, err)
 		}
 		for id, prog := range pass.Kernels {
 			m.RegisterKernel(id, prog)
 		}
-		res.Pass = pass
+		rs.pass = pass
 	case Pragma:
 		pass, err := compiler.GeneratePragmaEvents(fn, compiler.NewAlloc())
 		if err != nil {
-			return res, fmt.Errorf("%s: pragma pass: %w", b.Name, err)
+			return nil, fmt.Errorf("%s: pragma pass: %w", b.Name, err)
 		}
 		for id, prog := range pass.Kernels {
 			m.RegisterKernel(id, prog)
 		}
-		res.Pass = pass
+		rs.pass = pass
 	case Manual, ManualBlocked:
 		inst.Manual(m)
 	}
 
 	var streams []cpu.Stream
-	var last *ir.Interp
 	for _, run := range inst.Runs {
-		run := run
 		it := m.NewInterp(fn, run.Args...)
-		last = it
 		if run.Before != nil {
-			streams = append(streams, &hookStream{hook: func() { run.Before(m) }, inner: it})
+			streams = append(streams, &hookStream{before: run.Before, m: m, inner: it})
 		} else {
 			streams = append(streams, it)
 		}
 	}
-	res.Result = m.Run(ir.Seq(streams...))
-	res.Trace = tracer
+	rs.stream = &seq{all: streams}
+	return rs, nil
+}
 
+// collect validates the oracle against the machine that ran and assembles
+// the harness Result.
+func (rs *runSetup) collect(sys system.Result) (Result, error) {
+	res := Result{Benchmark: rs.b.Name, Scheme: rs.scheme, Result: sys,
+		Pass: rs.pass, Trace: rs.tracer}
+	last := rs.stream.lastInterp()
+	if last == nil {
+		return res, fmt.Errorf("harness: %s: run finished without a final interpreter", rs.b.Name)
+	}
 	ret, hasRet := last.Result()
-	if err := inst.Check(m, ret, hasRet); err != nil {
-		return res, fmt.Errorf("%s under %s: oracle mismatch: %w", b.Name, scheme, err)
+	if err := rs.inst.Check(rs.m, ret, hasRet); err != nil {
+		return res, fmt.Errorf("%s under %s: oracle mismatch: %w", rs.b.Name, rs.scheme, err)
 	}
 	return res, nil
 }
@@ -247,20 +289,89 @@ func variantFor(s Scheme) workloads.Variant {
 	}
 }
 
-// hookStream runs a functional callback (e.g. Graph500's parent reset)
-// when its first micro-op is pulled, then delegates.
+// hookStream runs a workload callback (e.g. Graph500's parent reset)
+// against its machine when its first micro-op is pulled, then delegates.
+// Keeping the callback and machine as separate fields (rather than a bound
+// closure) is what lets a fork re-target the hook at the cloned machine.
 type hookStream struct {
-	hook  func()
-	fired bool
-	inner cpu.Stream
+	before func(*system.Machine)
+	m      *system.Machine
+	fired  bool
+	inner  cpu.Stream
 }
 
 func (h *hookStream) Next() (cpu.MicroOp, bool) {
 	if !h.fired {
 		h.fired = true
-		h.hook()
+		h.before(h.m)
 	}
 	return h.inner.Next()
+}
+
+// seq concatenates the per-invocation micro-op streams of one run (several
+// kernels sharing one dynamic-op counter) and implements
+// system.ForkableStream so a machine paused mid-run can be forked. It
+// advances by index, keeping every stream reachable for cloning and for the
+// post-run oracle check.
+type seq struct {
+	all []cpu.Stream
+	pos int
+}
+
+func (s *seq) Next() (cpu.MicroOp, bool) {
+	for s.pos < len(s.all) {
+		if op, ok := s.all[s.pos].Next(); ok {
+			return op, true
+		}
+		s.pos++
+	}
+	return cpu.MicroOp{}, false
+}
+
+// ForkStream implements system.ForkableStream: every stream is cloned at its
+// exact position, re-bound to the fork's backing store, config sink and
+// micro-op counter.
+func (s *seq) ForkStream(f *system.Machine) (cpu.Stream, error) {
+	c := &seq{all: make([]cpu.Stream, len(s.all)), pos: s.pos}
+	for i, st := range s.all {
+		cs, err := forkStream(st, f)
+		if err != nil {
+			return nil, err
+		}
+		c.all[i] = cs
+	}
+	return c, nil
+}
+
+func forkStream(st cpu.Stream, f *system.Machine) (cpu.Stream, error) {
+	switch st := st.(type) {
+	case *ir.Interp:
+		return st.Clone(f.Backing, f, f.Counter), nil
+	case *hookStream:
+		inner, err := forkStream(st.inner, f)
+		if err != nil {
+			return nil, err
+		}
+		return &hookStream{before: st.before, m: f, fired: st.fired, inner: inner}, nil
+	}
+	return nil, fmt.Errorf("harness: stream %T does not support forking", st)
+}
+
+// lastInterp returns the final invocation's interpreter, whose return value
+// the oracle check consumes.
+func (s *seq) lastInterp() *ir.Interp {
+	if len(s.all) == 0 {
+		return nil
+	}
+	switch st := s.all[len(s.all)-1].(type) {
+	case *ir.Interp:
+		return st
+	case *hookStream:
+		if it, ok := st.inner.(*ir.Interp); ok {
+			return it
+		}
+	}
+	return nil
 }
 
 // Speedup returns base cycles / this run's cycles.

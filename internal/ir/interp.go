@@ -74,6 +74,36 @@ func NewInterp(fn *Fn, bk *mem.Backing, sink ConfigSink, counter *int64, args ..
 	return it
 }
 
+// Clone returns an interpreter positioned at exactly the same dynamic
+// instruction as it, re-bound to a forked machine's backing store, config
+// sink and shared micro-op counter. The function body is immutable and
+// shared; the SSA environment and control position are deep-copied, so the
+// clone and the original advance independently.
+func (it *Interp) Clone(bk *mem.Backing, sink ConfigSink, counter *int64) *Interp {
+	if sink == nil {
+		sink = NopSink{}
+	}
+	c := &Interp{
+		fn:       it.fn,
+		bk:       bk,
+		sink:     sink,
+		args:     it.args,
+		env:      append([]uint64(nil), it.env...),
+		envOp:    append([]int64(nil), it.envOp...),
+		idx:      it.idx,
+		counter:  counter,
+		steps:    it.steps,
+		maxSteps: it.maxSteps,
+		done:     it.done,
+		ret:      it.ret,
+		hasRet:   it.hasRet,
+	}
+	if it.block != nil {
+		c.block = c.fn.Block(it.block.ID)
+	}
+	return c
+}
+
 // SetMaxSteps bounds dynamic instruction count (a runaway-loop guard for
 // tests); exceeding it panics.
 func (it *Interp) SetMaxSteps(n int64) { it.maxSteps = n }

@@ -1,0 +1,71 @@
+package mem
+
+// Functional warming for SMARTS-style interval sampling: ops consumed during
+// a fast-forward interval still update cache tag arrays, LRU state and TLB
+// contents — otherwise every measurement interval would start from a
+// cold-ish hierarchy and overstate miss rates — but touch no simulated time,
+// schedule no events and count no stats (sampled statistics are estimated
+// from the detailed intervals alone).
+
+// WarmAccess applies the tag/LRU effect of one demand access without any
+// timing: a hit touches the line, a miss installs it over the LRU victim.
+// Dirty victims vanish silently (functional data lives in the backing store,
+// which the interpreter keeps correct independently of the cache models).
+// It reports whether the access hit, so callers can warm the next level on
+// a miss.
+func (c *Cache) WarmAccess(addr uint64, store bool) (hit bool) {
+	line := LineAddr(addr)
+	if l := c.lookup(line); l != nil {
+		c.useClock++
+		l.lastUse = c.useClock
+		if store {
+			l.dirty = true
+		}
+		if l.prefetched && !l.used {
+			l.used = true
+		}
+		return true
+	}
+	set := c.lines[c.setIndex(line)]
+	victim := &set[0]
+	for i := range set {
+		l := &set[i]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if l.lastUse < victim.lastUse {
+			victim = l
+		}
+	}
+	// Keep the prefetch-utilisation classification honest for lines a warm
+	// eviction displaces; everything else stays out of the stats.
+	if victim.valid && victim.prefetched {
+		if victim.used {
+			c.Stats.PrefetchUsed++
+		} else {
+			c.Stats.PrefetchDead++
+		}
+	}
+	c.useClock++
+	*victim = cacheLine{tag: line, valid: true, dirty: store, lastUse: c.useClock}
+	return false
+}
+
+// WarmAccess applies the effect of one translation on TLB contents without
+// timing, walker occupancy or stats.
+func (t *TLB) WarmAccess(addr uint64) {
+	page := PageAddr(addr)
+	if t.findAndTouch(t.l1, page) {
+		return
+	}
+	set := t.l2[(page/PageSize)%uint64(len(t.l2))]
+	if t.findAndTouch(set, page) {
+		t.insertLRU(t.l1, page)
+		return
+	}
+	if t.bk.Mapped(page) {
+		t.insertLRU(t.l1, page)
+		t.insertLRU(set, page)
+	}
+}

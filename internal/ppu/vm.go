@@ -65,6 +65,22 @@ func (m *VM) Reset(prog []Instr, env *Env) {
 	*m = VM{prog: prog, env: env}
 }
 
+// Env returns the environment the VM is bound to, so a machine fork can read
+// the trigger address and captured line of a suspended (blocked-mode) VM when
+// rebuilding its environment against fork-owned state.
+func (m *VM) Env() *Env { return m.env }
+
+// Clone returns a copy of m suspended at the same instruction — registers,
+// pc, cycle count and fault flag copy by value; the kernel program is
+// immutable and shared. The clone is bound to env, which the caller builds
+// against its own state (a forked VM must not emit prefetches into, or read
+// globals from, the parent machine).
+func (m *VM) Clone(env *Env) *VM {
+	c := *m
+	c.env = env
+	return &c
+}
+
 // Cycles returns how many PPU cycles the kernel has consumed so far. Every
 // instruction costs one cycle except DIV, which costs eight (the
 // microcontroller-class cores have no fast divider).

@@ -1,0 +1,76 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"eventpf/internal/ppu"
+	"eventpf/internal/sim"
+)
+
+// RegisterFork records the prefetcher's handler adapters as counterparts of
+// src's, so pending enqueue/translation/inflight/unit-free events captured
+// from the parent resolve to this prefetcher after a machine fork.
+func (p *Prefetcher) RegisterFork(src *Prefetcher, remap *sim.Remap) {
+	remap.Register(src.enqueueH, p.enqueueH)
+	remap.Register(src.pumpH, p.pumpH)
+	remap.Register(src.inflH, p.inflH)
+	remap.Register(src.freeH, p.freeH)
+}
+
+// CopyStateFrom copies src's complete state: kernel registry (programs are
+// immutable and shared), filter table, globals, queues, unit occupancy
+// (suspended blocked-mode VMs are cloned and their EmitPF callbacks rebuilt
+// against this prefetcher), the pending-prefetch table, pump records and
+// EWMA state. The fork's clock may differ from src's — that is the sweep
+// fan-out case — but the unit count must match.
+func (p *Prefetcher) CopyStateFrom(src *Prefetcher) error {
+	if len(p.units) != len(src.units) {
+		return fmt.Errorf("prefetch: fork with different PPU count (%d vs %d)", len(p.units), len(src.units))
+	}
+	p.Enabled = src.Enabled
+	for id, prog := range src.kernels {
+		p.kernels[id] = prog
+	}
+	for id, w := range src.warmed {
+		p.warmed[id] = w
+	}
+	p.filter = append(p.filter[:0], src.filter...)
+	p.globals = src.globals
+	p.obsQueue = append(p.obsQueue[:0], src.obsQueue...)
+	p.reqQueue = append(p.reqQueue[:0], src.reqQueue...)
+	for i := range src.units {
+		su, du := &src.units[i], &p.units[i]
+		du.busy = su.busy
+		du.busyStart = su.busyStart
+		du.busyTicks = su.busyTicks
+		du.stack = du.stack[:0]
+		for _, e := range su.stack {
+			srcEnv := e.vm.Env()
+			env := &ppu.Env{
+				VAddr:     srcEnv.VAddr,
+				Line:      srcEnv.Line,
+				Globals:   &p.globals,
+				Lookahead: p.lookahead,
+			}
+			vm := e.vm.Clone(env)
+			env.EmitPF = p.emitFunc(i, e.kernel, e.start, e.timedAt, e.ewma)
+			du.stack = append(du.stack, suspended{vm: vm, kernel: e.kernel, start: e.start, timedAt: e.timedAt, ewma: e.ewma})
+		}
+	}
+	for id := range p.pending {
+		delete(p.pending, id)
+	}
+	for id, q := range src.pending {
+		cp := p.getPend()
+		*cp = *q
+		p.pending[id] = cp
+	}
+	p.nextObs = src.nextObs
+	p.pumpRecs = append(p.pumpRecs[:0], src.pumpRecs...)
+	p.pumpFree = append(p.pumpFree[:0], src.pumpFree...)
+	p.ewma = src.ewma
+	p.pumping = src.pumping
+	p.inFlight = src.inFlight
+	p.Stats = src.Stats
+	return nil
+}

@@ -102,11 +102,24 @@ type request struct {
 	obsID int
 }
 
+// suspended is one blocked-mode VM parked on a unit's stack, together with
+// the invocation context its EmitPF callback was built from. Keeping the
+// context explicit (rather than only inside the closure) is what makes a
+// suspended VM forkable: a machine fork clones the VM and rebuilds the
+// callback against its own prefetcher from these fields.
+type suspended struct {
+	vm      *ppu.VM
+	kernel  int
+	start   sim.Ticks
+	timedAt sim.Ticks
+	ewma    int
+}
+
 type unit struct {
 	busy      bool
 	busyStart sim.Ticks
 	busyTicks sim.Ticks
-	stack     []*ppu.VM // blocked mode: suspended kernels, innermost last
+	stack     []suspended // blocked mode: suspended kernels, innermost last
 }
 
 // Prefetcher wires the event machinery to an L1 cache and TLB.
@@ -528,7 +541,7 @@ func (p *Prefetcher) startKernel(id int, kernel int, addr uint64, timedAt sim.Ti
 	}
 	if status == ppu.Blocked {
 		// Unit stays busy; resumed by resumeBlocked on fill (or drop).
-		u.stack = append(u.stack, vm)
+		u.stack = append(u.stack, suspended{vm: vm, kernel: kernel, start: start, timedAt: timedAt, ewma: ewma})
 		return
 	}
 	p.finishUnit(id, start+p.cfg.PPUClock.Cycles(vm.Cycles()))
@@ -702,13 +715,14 @@ func (p *Prefetcher) resumeBlocked(id int, kernel int, addr uint64, timedAt sim.
 				Lookahead: p.lookahead,
 			}
 			vm := ppu.NewVM(prog, env)
-			env.EmitPF = p.emitFunc(id, kernel, start, timedAt, ewma)
+			kernelStart := start // EmitPF's reference time; a fork rebuilds from it
+			env.EmitPF = p.emitFunc(id, kernel, kernelStart, timedAt, ewma)
 			p.Stats.KernelRuns++
 			p.emit(trace.Event{Kind: trace.PFKernel, Addr: addr, A: int32(kernel), C: int32(id)})
 			status := vm.Run()
 			start += p.cfg.PPUClock.Cycles(vm.Cycles())
 			if status == ppu.Blocked {
-				u.stack = append(u.stack, vm)
+				u.stack = append(u.stack, suspended{vm: vm, kernel: kernel, start: kernelStart, timedAt: timedAt, ewma: ewma})
 				return
 			}
 			if vm.Faulted() {
@@ -720,16 +734,16 @@ func (p *Prefetcher) resumeBlocked(id int, kernel int, addr uint64, timedAt sim.
 	// cumulative across resumes) into the unit's finish time, and a resumed
 	// kernel can fault just like a fresh one.
 	for len(u.stack) > 0 {
-		vm := u.stack[len(u.stack)-1]
+		e := u.stack[len(u.stack)-1]
 		u.stack = u.stack[:len(u.stack)-1]
-		before := vm.Cycles()
-		status := vm.Run()
-		start += p.cfg.PPUClock.Cycles(vm.Cycles() - before)
+		before := e.vm.Cycles()
+		status := e.vm.Run()
+		start += p.cfg.PPUClock.Cycles(e.vm.Cycles() - before)
 		if status == ppu.Blocked {
-			u.stack = append(u.stack, vm)
+			u.stack = append(u.stack, e)
 			return
 		}
-		if vm.Faulted() {
+		if e.vm.Faulted() {
 			p.Stats.KernelFaults++
 		}
 	}

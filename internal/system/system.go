@@ -105,7 +105,26 @@ type Machine struct {
 	// feeding this machine's core.
 	Counter *int64
 
+	glue     *portGlue
+	ctxH     ctxSwitchHandler
+	stream   cpu.Stream
 	coreDone bool
+	runDone  bool
+}
+
+// ctxSwitchHandler fires the periodic context-switch flush (§5.3) and
+// re-arms itself. A typed handler rather than a recursive closure so the
+// pending flush event survives a machine fork.
+type ctxSwitchHandler struct{ m *Machine }
+
+// Handle implements sim.Handler.
+func (h ctxSwitchHandler) Handle(sim.Ticks, uint64, uint64) {
+	m := h.m
+	if m.coreDone {
+		return // let the engine drain once the program ends
+	}
+	m.PF.Flush()
+	m.Eng.ScheduleAfter(m.Cfg.ContextSwitchTicks, m.ctxH, 0, 0)
 }
 
 // New assembles a machine for the given scheme.
@@ -132,19 +151,13 @@ func New(cfg Config, scheme Scheme) *Machine {
 		Counter: new(int64),
 	}
 
+	m.ctxH.m = m
+
 	switch scheme {
 	case Programmable:
 		m.PF = prefetch.New(eng, cfg.Prefetcher, bk, l1, tlb)
 		if cfg.ContextSwitchTicks > 0 {
-			var tick func()
-			tick = func() {
-				if m.coreDone {
-					return // let the engine drain once the program ends
-				}
-				m.PF.Flush()
-				eng.After(cfg.ContextSwitchTicks, tick)
-			}
-			eng.After(cfg.ContextSwitchTicks, tick)
+			eng.ScheduleAfter(cfg.ContextSwitchTicks, m.ctxH, 0, 0)
 		}
 	case StridePF:
 		m.StrideU = baseline.NewStride(eng, cfg.Stride, l1, tlb)
@@ -155,6 +168,7 @@ func New(cfg Config, scheme Scheme) *Machine {
 	}
 
 	g := newPortGlue(tlb, l1)
+	m.glue = g
 	l1.Pool, l2.Pool, dram.Pool = g.pool, g.pool, g.pool
 	ports := cpu.Ports{
 		Load: func(addr uint64, pc int, h sim.Handler, a uint64) {
@@ -353,17 +367,56 @@ type Result struct {
 	Baseline   baseline.IssuerStats
 	Ticks      sim.Ticks
 	Cycles     int64
+	// Sampled is set only on RunSampled runs, so full-run result encodings
+	// are byte-identical to earlier versions.
+	Sampled *SampledStats `json:",omitempty"`
 }
 
 // Run executes the micro-op stream to completion and returns the collected
-// statistics.
+// statistics. It is Start + Drain + Finish; callers that want to pause at an
+// op boundary (to Fork or checkpoint) use the pieces directly.
 func (m *Machine) Run(stream cpu.Stream) Result {
-	done := false
-	m.Core.Run(stream, func() { done = true; m.coreDone = true })
+	m.Start(stream)
+	m.Drain()
+	return m.Finish()
+}
+
+func (m *Machine) onCoreDone() { m.runDone = true; m.coreDone = true }
+
+// Start begins executing the micro-op stream on the core without advancing
+// simulated time. The stream is retained so a later Fork can clone it (if it
+// implements ForkableStream).
+func (m *Machine) Start(stream cpu.Stream) {
+	m.stream = stream
+	m.runDone = false
+	m.Core.Run(stream, m.onCoreDone)
+}
+
+// Drain runs the engine until no events remain, panicking if the core did
+// not finish (a deadlock in the memory system).
+func (m *Machine) Drain() {
 	m.Eng.Run()
-	if !done {
+	if !m.runDone {
 		panic("system: simulation deadlocked: engine drained before the core finished")
 	}
+}
+
+// RunUntilOps advances the simulation until the core has retired at least n
+// micro-ops (or the run completes). The machine is left between events — a
+// consistent point to Fork or digest. Start must have been called.
+func (m *Machine) RunUntilOps(n int64) {
+	for !m.runDone && m.Core.Stats.Ops < n {
+		if !m.Eng.Step() {
+			panic("system: simulation deadlocked: engine drained before the core finished")
+		}
+	}
+}
+
+// Done reports whether the started run has completed.
+func (m *Machine) Done() bool { return m.runDone }
+
+// Finish finalises statistics and builds the Result for a drained run.
+func (m *Machine) Finish() Result {
 	m.L1.FinalizeStats()
 	m.L2.FinalizeStats()
 

@@ -14,9 +14,12 @@
 # with "-short" appended under SHORT=1 so short runs are never mistaken for
 # full-scale baselines):
 # {"meta": {"git_sha", "date", "go_version", "short"},
-#  "benchmarks": [{"name", "iterations", "metrics": {"ns/op": ...}}, ...]}
+#  "benchmarks": [{"name", "iterations", "metrics": {"ns/op": ..., "wall_s": ...}}, ...]}
 # plus the raw benchmark text alongside it. The meta block makes any two
 # BENCH files comparable without consulting the shell history that made them.
+# wall_s is the total wall-clock seconds the benchmark spent across all its
+# iterations (iterations x ns/op), so harness-level wins — shared warmups,
+# memoisation — are visible per figure, not just per iteration.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -56,6 +59,9 @@ BEGIN {
     for (i = 3; i + 1 <= NF; i += 2) {
         printf "%s\"%s\":%s", msep, $(i+1), $i
         msep = ","
+        if ($(i+1) == "ns/op") {
+            printf "%s\"wall_s\":%.6g", msep, $2 * $i / 1e9
+        }
     }
     printf "}}"
     sep = ",\n"

@@ -8,9 +8,11 @@
 #
 # The meta stamp (git SHA, date, Go version) of both files heads the report;
 # a non-matching Go version is called out, since allocation counts and
-# timings are only honestly comparable on the same toolchain. ns/op deltas
-# beyond ±2% are marked; paper-fidelity metrics (geomeans, hit rates, …) are
-# printed whenever both files carry them.
+# timings are only honestly comparable on the same toolchain. Wall-clock
+# seconds per benchmark (wall_s, falling back to iterations x ns/op for old
+# files) lead the table, with a total-suite line at the bottom; deltas beyond
+# ±2% are marked. Paper-fidelity metrics (geomeans, hit rates, …) are printed
+# whenever both files carry them.
 set -eu
 
 if [ $# -ne 2 ]; then
@@ -46,35 +48,50 @@ print()
 by_name_old = {b["name"]: b for b in old.get("benchmarks", [])}
 by_name_new = {b["name"]: b for b in new.get("benchmarks", [])}
 
-def fmt_ns(ns):
-    if ns >= 1e9: return f"{ns/1e9:.2f}s"
-    if ns >= 1e6: return f"{ns/1e6:.2f}ms"
-    if ns >= 1e3: return f"{ns/1e3:.2f}µs"
-    return f"{ns:.0f}ns"
+def fmt_s(s):
+    if s >= 1: return f"{s:.2f}s"
+    if s >= 1e-3: return f"{s*1e3:.2f}ms"
+    if s >= 1e-6: return f"{s*1e6:.2f}µs"
+    return f"{s*1e9:.0f}ns"
+
+def wall_s(bench):
+    # Old files predate the wall_s stamp; reconstruct it from ns/op.
+    m = bench["metrics"]
+    if "wall_s" in m:
+        return m["wall_s"]
+    if "ns/op" in m:
+        return bench.get("iterations", 1) * m["ns/op"] / 1e9
+    return None
 
 width = max((len(n) for n in by_name_new), default=10)
-print(f"{'benchmark':<{width}}  {'old':>10}  {'new':>10}  {'delta':>8}  other metric deltas")
+print(f"{'benchmark':<{width}}  {'old wall':>10}  {'new wall':>10}  {'delta':>8}  other metric deltas")
+tot_old = tot_new = 0.0
 for name in sorted(set(by_name_old) | set(by_name_new)):
     if name not in by_name_old:
-        print(f"{name:<{width}}  {'-':>10}  {fmt_ns(by_name_new[name]['metrics'].get('ns/op', 0)):>10}  {'NEW':>8}")
+        print(f"{name:<{width}}  {'-':>10}  {fmt_s(wall_s(by_name_new[name]) or 0):>10}  {'NEW':>8}")
         continue
     if name not in by_name_new:
-        print(f"{name:<{width}}  {fmt_ns(by_name_old[name]['metrics'].get('ns/op', 0)):>10}  {'-':>10}  {'GONE':>8}")
+        print(f"{name:<{width}}  {fmt_s(wall_s(by_name_old[name]) or 0):>10}  {'-':>10}  {'GONE':>8}")
         continue
     om, nm = by_name_old[name]["metrics"], by_name_new[name]["metrics"]
-    o_ns, n_ns = om.get("ns/op"), nm.get("ns/op")
-    if o_ns and n_ns:
-        pct = (n_ns - o_ns) / o_ns * 100
+    o_s, n_s = wall_s(by_name_old[name]), wall_s(by_name_new[name])
+    if o_s and n_s:
+        tot_old += o_s
+        tot_new += n_s
+        pct = (n_s - o_s) / o_s * 100
         mark = "" if abs(pct) <= 2 else ("  <-- slower" if pct > 0 else "  <-- faster")
         delta = f"{pct:+.1f}%"
     else:
         delta, mark = "?", ""
     extras = []
     for k in sorted(set(om) & set(nm)):
-        if k in ("ns/op",) or not isinstance(om[k], (int, float)) or om[k] == 0:
+        if k in ("ns/op", "wall_s") or not isinstance(om[k], (int, float)) or om[k] == 0:
             continue
         epct = (nm[k] - om[k]) / om[k] * 100
         if abs(epct) > 0.05:
             extras.append(f"{k} {epct:+.1f}%")
-    print(f"{name:<{width}}  {fmt_ns(o_ns or 0):>10}  {fmt_ns(n_ns or 0):>10}  {delta:>8}{mark}  {' '.join(extras)}")
+    print(f"{name:<{width}}  {fmt_s(o_s or 0):>10}  {fmt_s(n_s or 0):>10}  {delta:>8}{mark}  {' '.join(extras)}")
+if tot_old > 0:
+    tpct = (tot_new - tot_old) / tot_old * 100
+    print(f"{'TOTAL':<{width}}  {fmt_s(tot_old):>10}  {fmt_s(tot_new):>10}  {tpct:+8.1f}%")
 EOF
