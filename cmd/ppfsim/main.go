@@ -26,7 +26,7 @@ import (
 func main() {
 	var (
 		benchName = flag.String("bench", "HJ-2", "benchmark name (see -list)")
-		schemeStr = flag.String("scheme", "manual", "one of: no-pf stride ghb-regular ghb-large software pragma converted manual manual-blocked")
+		schemeStr = flag.String("scheme", "manual", "one of: "+strings.Join(harness.SchemeNames(), " "))
 		scale     = flag.Float64("scale", 0.25, "input scale relative to the default reduced input")
 		ppus      = flag.Int("ppus", 0, "override PPU count (0 = default 12)")
 		ppuMHz    = flag.Int("ppu-mhz", 0, "override PPU clock in MHz (0 = default 1000)")
@@ -44,6 +44,7 @@ func main() {
 		ckptOps   = flag.Int64("checkpoint-ops", 0, "with -checkpoint-out, how many retired micro-ops to simulate before checkpointing")
 		ckptIn    = flag.String("checkpoint-in", "", "resume the run described by this checkpoint file and complete it")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
+		listSch   = flag.Bool("list-schemes", false, "print the registered scheme names, one per line, and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
@@ -51,6 +52,12 @@ func main() {
 
 	if *list {
 		fmt.Print(harness.Table2())
+		return
+	}
+	if *listSch {
+		for _, name := range harness.SchemeNames() {
+			fmt.Println(name)
+		}
 		return
 	}
 
@@ -205,7 +212,12 @@ func main() {
 		res.Trace.Dump(os.Stdout)
 	}
 	if collector != nil {
-		if werr := writeChromeTrace(*traceOut, collector.Events(), harness.LayoutFor(opt, scheme)); werr != nil {
+		lay, lerr := harness.LayoutFor(opt, scheme)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", lerr)
+			os.Exit(1)
+		}
+		if werr := writeChromeTrace(*traceOut, collector.Events(), lay); werr != nil {
 			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", werr)
 			os.Exit(1)
 		}

@@ -33,8 +33,10 @@ import (
 // Scheme selects a prefetching scheme (one Figure 7 bar).
 type Scheme = harness.Scheme
 
-// The paper's comparison schemes.
-const (
+// The paper's comparison schemes plus the competitor prefetchers. These are
+// registry-assigned ids (vars, not consts): new schemes can be added with
+// harness.Register without renumbering.
+var (
 	NoPF          = harness.NoPF
 	Stride        = harness.Stride
 	GHBRegular    = harness.GHBRegular
@@ -44,6 +46,9 @@ const (
 	Converted     = harness.Converted
 	Manual        = harness.Manual
 	ManualBlocked = harness.ManualBlocked
+	RPT           = harness.RPT
+	GHBDelta      = harness.GHBDelta
+	TSKID         = harness.TSKID
 )
 
 // Options adjusts a run; see harness.Options.
@@ -92,13 +97,16 @@ type MachineConfig = system.Config
 // MachineScheme selects the hardware prefetcher a machine carries.
 type MachineScheme = system.Scheme
 
-// Machine prefetching schemes.
-const (
+// Machine prefetching schemes (registry-assigned ids; see system.RegisterScheme).
+var (
 	MachineNoPF         = system.NoPF
 	MachineStride       = system.StridePF
 	MachineGHBRegular   = system.GHBRegular
 	MachineGHBLarge     = system.GHBLarge
 	MachineProgrammable = system.Programmable
+	MachineRPT          = system.RPT
+	MachineGHBDelta     = system.GHBDelta
+	MachineTSKID        = system.TSKID
 )
 
 // Machine is one assembled simulation instance.

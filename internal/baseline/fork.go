@@ -7,9 +7,12 @@ import (
 )
 
 // Fork support: the baseline prefetchers hold plain value state (tables,
-// queues, counters) plus one handler adapter each (the issuer's translation
-// handler); their L1 snoop closures are rebuilt identically by the fork's
-// own constructors, so only state is copied.
+// queues, counters) plus handler adapters (the issuer's translation handler,
+// TSKID's delayed-issue handler); their L1 snoop closures are rebuilt
+// identically by the fork's own constructors, so only state is copied. Every
+// unit implements the Unit interface's fork half by type-asserting src: the
+// system fork always pairs units built from the same scheme spec, so a
+// mismatch is a wiring bug reported as an error.
 
 func (is *issuer) registerFork(src *issuer, remap *sim.Remap) {
 	remap.Register(src.transH, is.transH)
@@ -21,41 +24,148 @@ func (is *issuer) copyStateFrom(src *issuer) {
 	is.stats = src.stats
 }
 
+// forkMismatch reports a unit forked into a different concrete type.
+func forkMismatch(dst, src Unit) error {
+	return fmt.Errorf("baseline: fork of %T into %T", src, dst)
+}
+
 // RegisterFork records the stride prefetcher's handler pair for a fork.
-func (s *Stride) RegisterFork(src *Stride, remap *sim.Remap) {
-	s.is.registerFork(src.is, remap)
+func (s *Stride) RegisterFork(src Unit, remap *sim.Remap) error {
+	ss, ok := src.(*Stride)
+	if !ok {
+		return forkMismatch(s, src)
+	}
+	s.is.registerFork(ss.is, remap)
+	return nil
 }
 
 // CopyStateFrom copies src's prediction table and issuer state.
-func (s *Stride) CopyStateFrom(src *Stride) error {
-	if len(s.table) != len(src.table) {
+func (s *Stride) CopyStateFrom(src Unit) error {
+	ss, ok := src.(*Stride)
+	if !ok {
+		return forkMismatch(s, src)
+	}
+	if len(s.table) != len(ss.table) {
 		return fmt.Errorf("baseline: fork of stride prefetcher into different table size")
 	}
-	copy(s.table, src.table)
-	s.is.copyStateFrom(src.is)
+	copy(s.table, ss.table)
+	s.is.copyStateFrom(ss.is)
 	return nil
 }
 
 // RegisterFork records the GHB prefetcher's handler pair for a fork.
-func (g *GHB) RegisterFork(src *GHB, remap *sim.Remap) {
-	g.is.registerFork(src.is, remap)
+func (g *GHB) RegisterFork(src Unit, remap *sim.Remap) error {
+	sg, ok := src.(*GHB)
+	if !ok {
+		return forkMismatch(g, src)
+	}
+	g.is.registerFork(sg.is, remap)
+	return nil
 }
 
 // CopyStateFrom copies src's history buffer, index and issuer state.
-func (g *GHB) CopyStateFrom(src *GHB) error {
-	if cap(g.ghb) != cap(src.ghb) {
+func (g *GHB) CopyStateFrom(src Unit) error {
+	sg, ok := src.(*GHB)
+	if !ok {
+		return forkMismatch(g, src)
+	}
+	if cap(g.ghb) != cap(sg.ghb) {
 		return fmt.Errorf("baseline: fork of GHB prefetcher into different buffer size")
 	}
-	g.ghb = append(g.ghb[:0], src.ghb...)
-	g.head = src.head
-	g.count = src.count
+	g.ghb = append(g.ghb[:0], sg.ghb...)
+	g.head = sg.head
+	g.count = sg.count
 	for line := range g.index {
 		delete(g.index, line)
 	}
-	for line, pos := range src.index {
+	for line, pos := range sg.index {
 		g.index[line] = pos
 	}
-	g.indexAge = append(g.indexAge[:0], src.indexAge...)
-	g.is.copyStateFrom(src.is)
+	g.indexAge = append(g.indexAge[:0], sg.indexAge...)
+	g.is.copyStateFrom(sg.is)
+	return nil
+}
+
+// RegisterFork records the RPT prefetcher's handler pair for a fork.
+func (r *RPT) RegisterFork(src Unit, remap *sim.Remap) error {
+	sr, ok := src.(*RPT)
+	if !ok {
+		return forkMismatch(r, src)
+	}
+	r.is.registerFork(sr.is, remap)
+	return nil
+}
+
+// CopyStateFrom copies src's reference prediction table and issuer state.
+func (r *RPT) CopyStateFrom(src Unit) error {
+	sr, ok := src.(*RPT)
+	if !ok {
+		return forkMismatch(r, src)
+	}
+	if len(r.table) != len(sr.table) {
+		return fmt.Errorf("baseline: fork of RPT prefetcher into different table size")
+	}
+	copy(r.table, sr.table)
+	r.is.copyStateFrom(sr.is)
+	return nil
+}
+
+// RegisterFork records the delta-GHB prefetcher's handler pair for a fork.
+func (g *GHBDelta) RegisterFork(src Unit, remap *sim.Remap) error {
+	sg, ok := src.(*GHBDelta)
+	if !ok {
+		return forkMismatch(g, src)
+	}
+	g.is.registerFork(sg.is, remap)
+	return nil
+}
+
+// CopyStateFrom copies src's history buffer, index table and issuer state.
+func (g *GHBDelta) CopyStateFrom(src Unit) error {
+	sg, ok := src.(*GHBDelta)
+	if !ok {
+		return forkMismatch(g, src)
+	}
+	if cap(g.ghb) != cap(sg.ghb) || len(g.ait) != len(sg.ait) {
+		return fmt.Errorf("baseline: fork of delta-GHB prefetcher into different sizing")
+	}
+	g.ghb = append(g.ghb[:0], sg.ghb...)
+	g.count = sg.count
+	copy(g.ait, sg.ait)
+	g.lastLine, g.haveLast = sg.lastLine, sg.haveLast
+	g.is.copyStateFrom(sg.is)
+	return nil
+}
+
+// RegisterFork records the timing prefetcher's handler pairs for a fork:
+// the issuer's translation handler plus the delayed-issue handler, whose
+// pending events (scheduled prefetches not yet due) live in the parent's
+// event queue and must re-target the fork.
+func (t *TSKID) RegisterFork(src Unit, remap *sim.Remap) error {
+	st, ok := src.(*TSKID)
+	if !ok {
+		return forkMismatch(t, src)
+	}
+	t.is.registerFork(st.is, remap)
+	remap.Register(st.issueH, t.issueH)
+	return nil
+}
+
+// CopyStateFrom copies src's trackers, trigger→target table, recent-PC ring
+// and issuer state.
+func (t *TSKID) CopyStateFrom(src Unit) error {
+	st, ok := src.(*TSKID)
+	if !ok {
+		return forkMismatch(t, src)
+	}
+	if len(t.trackers) != len(st.trackers) || len(t.targets) != len(st.targets) ||
+		len(t.recent) != len(st.recent) {
+		return fmt.Errorf("baseline: fork of TSKID prefetcher into different sizing")
+	}
+	copy(t.trackers, st.trackers)
+	copy(t.targets, st.targets)
+	copy(t.recent, st.recent)
+	t.recentN = st.recentN
+	t.is.copyStateFrom(st.is)
 	return nil
 }

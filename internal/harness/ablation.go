@@ -78,7 +78,11 @@ func (s *Suite) Ablations() ([]AblationRow, error) {
 			if !j.forkable {
 				continue
 			}
-			conts[i], err = w.Fork(ConfigFor(cellOpt(i), Manual))
+			cfg, err := ConfigFor(cellOpt(i), Manual)
+			if err != nil {
+				return nil, err
+			}
+			conts[i], err = w.Fork(cfg)
 			if err != nil {
 				return nil, err
 			}

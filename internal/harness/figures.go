@@ -91,7 +91,8 @@ func (s *Suite) Key(p Pair) string {
 // foldSizing resolves requested PPU sizing against the option defaults:
 // explicit values win, then option-level overrides, then the machine
 // configuration; schemes without a programmable prefetcher fold to zero
-// because sizing cannot affect them.
+// because sizing cannot affect them. Which schemes are programmable comes
+// from the registry, not a scheme list.
 func foldSizing(scheme Scheme, ppus, mhz int, opt Options) (int, int) {
 	if ppus == 0 {
 		ppus = opt.PPUs
@@ -99,8 +100,7 @@ func foldSizing(scheme Scheme, ppus, mhz int, opt Options) (int, int) {
 	if mhz == 0 {
 		mhz = opt.PPUMHz
 	}
-	switch scheme {
-	case Pragma, Converted, Manual, ManualBlocked:
+	if info, ok := scheme.Info(); ok && info.Machine.IsProgrammable() {
 		cfg := optConfig(opt)
 		if ppus == 0 {
 			ppus = cfg.Prefetcher.NumPPUs
@@ -108,7 +108,7 @@ func foldSizing(scheme Scheme, ppus, mhz int, opt Options) (int, int) {
 		if mhz == 0 {
 			mhz = int(16000 / cfg.Prefetcher.PPUClock.Period) // ticks → MHz
 		}
-	default: // no programmable prefetcher: sizing cannot affect the run
+	} else { // no programmable prefetcher: sizing cannot affect the run
 		ppus, mhz = 0, 0
 	}
 	return ppus, mhz
@@ -335,7 +335,11 @@ func (s *Suite) sweepForked(b *workloads.Benchmark, ppus int, clocks []int) erro
 	for i, pt := range todo {
 		opt := s.Opt
 		opt.PPUs, opt.PPUMHz = pt.pair.PPUs, pt.pair.PPUMHz
-		conts[i], err = w.Fork(ConfigFor(opt, Manual))
+		cfg, err := ConfigFor(opt, Manual)
+		if err != nil {
+			return abort(err)
+		}
+		conts[i], err = w.Fork(cfg)
 		if err != nil {
 			return abort(err)
 		}

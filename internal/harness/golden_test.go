@@ -33,6 +33,20 @@ var goldenPairs = []struct {
 	{"HJ-2", Manual},
 	{"RandAcc", Stride},
 	{"G500-CSR", ManualBlocked},
+	// Every remaining pre-registry scheme, pinned across the scheme-registry
+	// refactor: collapsing the dispatch switches into one table must not move
+	// a single byte of any scheme's result.
+	{"HJ-2", GHBRegular},
+	{"HJ-2", GHBLarge},
+	{"HJ-2", Software},
+	{"HJ-2", Pragma},
+	{"HJ-2", Converted},
+	// The registry-added competitor prefetchers. RandAcc's random-walk access
+	// stream exercises the timing and delta paths hardest; their presence here
+	// also puts each new unit through the fork byte-identity test.
+	{"RandAcc", RPT},
+	{"RandAcc", GHBDelta},
+	{"RandAcc", TSKID},
 }
 
 const goldenScale = 0.05

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 
 	"eventpf/internal/workloads"
 )
@@ -53,8 +52,7 @@ func (j JobSpec) Resolve() (Job, error) {
 	}
 	scheme, ok := ParseScheme(j.Scheme)
 	if !ok {
-		return Job{}, fmt.Errorf("harness: unknown scheme %q; valid schemes: %s",
-			j.Scheme, strings.Join(SchemeNames(), ", "))
+		return Job{}, &UnknownSchemeError{Name: j.Scheme}
 	}
 	if j.Scale < 0 {
 		return Job{}, fmt.Errorf("harness: scale %g must be positive", j.Scale)
@@ -91,44 +89,6 @@ func (j Job) Canonical() string {
 func (j Job) Key() string {
 	sum := sha256.Sum256([]byte(j.Canonical()))
 	return hex.EncodeToString(sum[:])
-}
-
-// ParseScheme resolves a scheme name as printed by Scheme.String
-// ("no-pf", "ghb-large", "manual-blocked", …).
-func ParseScheme(s string) (Scheme, bool) {
-	for _, sch := range AllSchemes {
-		if sch.String() == s {
-			return sch, true
-		}
-	}
-	return 0, false
-}
-
-// AllSchemes lists every scheme, including NoPF and the Figure 11 blocked
-// variant that the presentation-ordered Schemes slice omits.
-var AllSchemes = []Scheme{
-	NoPF, Stride, GHBRegular, GHBLarge, Software, Pragma, Converted, Manual, ManualBlocked,
-}
-
-// SchemeNames returns every scheme's parseable name.
-func SchemeNames() []string {
-	names := make([]string, len(AllSchemes))
-	for i, s := range AllSchemes {
-		names[i] = s.String()
-	}
-	return names
-}
-
-// UnmarshalText is the inverse of MarshalText, so schemes round-trip
-// through JSON job records.
-func (s *Scheme) UnmarshalText(text []byte) error {
-	sch, ok := ParseScheme(string(text))
-	if !ok {
-		return fmt.Errorf("harness: unknown scheme %q; valid schemes: %s",
-			text, strings.Join(SchemeNames(), ", "))
-	}
-	*s = sch
-	return nil
 }
 
 // EncodeResult writes the canonical JSON encoding of a Result: the exact

@@ -1,0 +1,220 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"eventpf/internal/baseline"
+	"eventpf/internal/compiler"
+	"eventpf/internal/ir"
+	"eventpf/internal/system"
+	"eventpf/internal/workloads"
+)
+
+// Scheme is one bar of Figure 7 (plus the Figure 11 blocked variant and the
+// competitor prefetchers added alongside the registry).
+//
+// A scheme is a registry entry, not an enum case: Register installs a
+// SchemeInfo describing everything the harness needs to run it — the
+// parseable name, the benchmark variant to build, the machine scheme to
+// assemble, the compiler pass or manual-kernel installation to apply, and
+// any configuration adjustment. Run/prepare, ConfigFor, LayoutFor, the
+// figure matrices and the JSON (un)marshalling all consult the same table,
+// so adding a scheme is one Register call with no switch to extend, and an
+// unregistered value is a typed error everywhere instead of a silent
+// fall-through.
+type Scheme int
+
+// SchemeInfo describes one comparison scheme.
+type SchemeInfo struct {
+	// Name is the parseable name used by CLIs, JSON and the serving layer.
+	Name string
+	// Machine selects the hardware prefetcher the simulated machine carries.
+	Machine system.Scheme
+	// Variant selects which build of the benchmark runs (plain, software
+	// prefetch, or pragma-annotated). The zero value is workloads.Plain.
+	Variant workloads.Variant
+	// Fig7 includes the scheme as a bar in the Figure 7 matrix.
+	Fig7 bool
+	// Pass, if non-nil, is the compiler pass run over the benchmark function;
+	// the produced kernels are registered with the machine. PassName labels
+	// pass failures ("<bench>: <PassName> pass: ...").
+	Pass     func(*ir.Fn, *compiler.Alloc) (*compiler.Result, error)
+	PassName string
+	// Manual installs the benchmark's hand-written prefetch kernels.
+	Manual bool
+	// Configure, if non-nil, adjusts the resolved machine configuration.
+	// explicit reports whether the caller supplied Options.Config — defaults
+	// (like ghb-large's big sizing) must apply only when it is false, so
+	// explicit overrides are always honoured.
+	Configure func(cfg *system.Config, explicit bool)
+}
+
+var schemeInfos []SchemeInfo
+
+// Register adds a comparison scheme to the registry and returns its id. Ids
+// are assigned in registration order; the built-in schemes register at
+// package init, keeping their historical values (NoPF=0 … ManualBlocked=8).
+func Register(info SchemeInfo) Scheme {
+	if info.Name == "" {
+		panic("harness: Register: scheme needs a name")
+	}
+	for _, prev := range schemeInfos {
+		if prev.Name == info.Name {
+			panic(fmt.Sprintf("harness: Register: duplicate scheme name %q", info.Name))
+		}
+	}
+	if !info.Machine.Valid() {
+		panic(fmt.Sprintf("harness: Register(%q): unregistered machine scheme %d",
+			info.Name, int(info.Machine)))
+	}
+	schemeInfos = append(schemeInfos, info)
+	return Scheme(len(schemeInfos) - 1)
+}
+
+// The paper's comparison schemes, plus the competitor prefetchers.
+var (
+	// NoPF is the no-prefetching baseline every speedup is relative to.
+	NoPF = Register(SchemeInfo{Name: "no-pf", Machine: system.NoPF})
+	// Stride is the Table 1 degree-8 stride prefetcher.
+	Stride = Register(SchemeInfo{Name: "stride", Machine: system.StridePF, Fig7: true})
+	// GHBRegular is the SRAM-sized Markov GHB prefetcher.
+	GHBRegular = Register(SchemeInfo{Name: "ghb-regular", Machine: system.GHBRegular, Fig7: true})
+	// GHBLarge is the 1 GiB-state Markov GHB study variant: the same machine
+	// scheme as GHBRegular, with the large sizing applied as a *default* —
+	// an explicit Options.Config keeps its own cfg.GHB.
+	GHBLarge = Register(SchemeInfo{
+		Name: "ghb-large", Machine: system.GHBLarge, Fig7: true,
+		Configure: func(cfg *system.Config, explicit bool) {
+			if !explicit {
+				cfg.GHB = baseline.LargeGHBConfig()
+			}
+		},
+	})
+	// Software runs the software-prefetch build on a machine with no
+	// hardware prefetcher.
+	Software = Register(SchemeInfo{
+		Name: "software", Machine: system.NoPF, Variant: workloads.SWPf, Fig7: true,
+	})
+	// Pragma runs the plain build under kernels generated from programmer
+	// pragmas (§6.2).
+	Pragma = Register(SchemeInfo{
+		Name: "pragma", Machine: system.Programmable, Variant: workloads.Pragma, Fig7: true,
+		Pass: compiler.GeneratePragmaEvents, PassName: "pragma",
+	})
+	// Converted runs the software-prefetch build with the prefetches
+	// converted into event kernels (§6.1).
+	Converted = Register(SchemeInfo{
+		Name: "converted", Machine: system.Programmable, Variant: workloads.SWPf, Fig7: true,
+		Pass: compiler.ConvertSoftwarePrefetches, PassName: "conversion",
+	})
+	// Manual runs the hand-written event kernels (§6.3).
+	Manual = Register(SchemeInfo{
+		Name: "manual", Machine: system.Programmable, Fig7: true, Manual: true,
+	})
+	// ManualBlocked is the Figure 11 variant: events replaced by blocking
+	// loads inside the PPUs.
+	ManualBlocked = Register(SchemeInfo{
+		Name: "manual-blocked", Machine: system.Programmable, Manual: true,
+		Configure: func(cfg *system.Config, explicit bool) {
+			cfg.Prefetcher.Blocked = true
+		},
+	})
+	// RPT is the Chen–Baer reference-prediction-table competitor.
+	RPT = Register(SchemeInfo{Name: "rpt", Machine: system.RPT, Fig7: true})
+	// GHBDelta is the delta-correlating (G/DC) GHB competitor.
+	GHBDelta = Register(SchemeInfo{Name: "ghb-delta", Machine: system.GHBDelta, Fig7: true})
+	// TSKID is the T-SKID-style timing-prefetch competitor.
+	TSKID = Register(SchemeInfo{Name: "tskid", Machine: system.TSKID, Fig7: true})
+)
+
+// Derived views of the registry, fixed after package init.
+var (
+	// Schemes lists the Figure 7 bars in presentation (registration) order.
+	Schemes []Scheme
+	// AllSchemes lists every registered scheme, including NoPF and the
+	// Figure 11 blocked variant that Schemes omits.
+	AllSchemes []Scheme
+
+	schemeByName map[string]Scheme
+)
+
+// init builds the derived views after every Register call in the var block
+// above has run (package-level init() is guaranteed to follow variable
+// initialisation).
+func init() {
+	schemeByName = make(map[string]Scheme, len(schemeInfos))
+	for i, info := range schemeInfos {
+		s := Scheme(i)
+		schemeByName[info.Name] = s
+		AllSchemes = append(AllSchemes, s)
+		if info.Fig7 {
+			Schemes = append(Schemes, s)
+		}
+	}
+}
+
+// Info returns the scheme's registry entry.
+func (s Scheme) Info() (SchemeInfo, bool) {
+	if s < 0 || int(s) >= len(schemeInfos) {
+		return SchemeInfo{}, false
+	}
+	return schemeInfos[s], true
+}
+
+func (s Scheme) String() string {
+	if info, ok := s.Info(); ok {
+		return info.Name
+	}
+	return fmt.Sprintf("unknown(%d)", int(s))
+}
+
+// MarshalText makes schemes render as their names in JSON output.
+func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText is the inverse of MarshalText, so schemes round-trip
+// through JSON job records.
+func (s *Scheme) UnmarshalText(text []byte) error {
+	sch, ok := ParseScheme(string(text))
+	if !ok {
+		return &UnknownSchemeError{Name: string(text)}
+	}
+	*s = sch
+	return nil
+}
+
+// ParseScheme resolves a scheme name as printed by Scheme.String
+// ("no-pf", "ghb-large", "manual-blocked", "rpt", …).
+func ParseScheme(s string) (Scheme, bool) {
+	sch, ok := schemeByName[s]
+	return sch, ok
+}
+
+// SchemeNames returns every scheme's parseable name, registration order.
+func SchemeNames() []string {
+	names := make([]string, len(schemeInfos))
+	for i, info := range schemeInfos {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// UnknownSchemeError reports a scheme name that is not registered, or a
+// numeric Scheme value outside the registry (e.g. decoded from a stale job
+// record). It is a typed error so callers can distinguish "bad request"
+// from simulation failures; its message lists the valid menu.
+type UnknownSchemeError struct {
+	// Name is the unparseable name, if the scheme arrived as text.
+	Name string
+	// Scheme is the out-of-range value, if it arrived as a number.
+	Scheme Scheme
+}
+
+func (e *UnknownSchemeError) Error() string {
+	what := e.Name
+	if what == "" {
+		what = fmt.Sprintf("%d", int(e.Scheme))
+	}
+	return fmt.Sprintf("harness: unknown scheme %q; valid schemes: %s",
+		what, strings.Join(SchemeNames(), ", "))
+}

@@ -16,52 +16,6 @@ import (
 	"eventpf/internal/workloads"
 )
 
-// Scheme is one bar of Figure 7 (plus the Figure 11 blocked variant).
-type Scheme int
-
-// The paper's comparison schemes.
-const (
-	NoPF Scheme = iota
-	Stride
-	GHBRegular
-	GHBLarge
-	Software
-	Pragma
-	Converted
-	Manual
-	ManualBlocked // Figure 11: events replaced by blocking loads
-)
-
-// Schemes lists the Figure 7 bars in presentation order.
-var Schemes = []Scheme{Stride, GHBRegular, GHBLarge, Software, Pragma, Converted, Manual}
-
-func (s Scheme) String() string {
-	switch s {
-	case NoPF:
-		return "no-pf"
-	case Stride:
-		return "stride"
-	case GHBRegular:
-		return "ghb-regular"
-	case GHBLarge:
-		return "ghb-large"
-	case Software:
-		return "software"
-	case Pragma:
-		return "pragma"
-	case Converted:
-		return "converted"
-	case Manual:
-		return "manual"
-	case ManualBlocked:
-		return "manual-blocked"
-	}
-	return "unknown"
-}
-
-// MarshalText makes schemes render as their names in JSON output.
-func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
-
 // ErrUnsupported reports a benchmark/scheme pair that does not exist, such
 // as software prefetching for PageRank (§7.1).
 var ErrUnsupported = fmt.Errorf("harness: scheme not applicable to this benchmark")
@@ -148,9 +102,16 @@ func prepare(b *workloads.Benchmark, scheme Scheme, opt Options) (*runSetup, err
 	if opt.Scale == 0 {
 		opt.Scale = 1.0
 	}
-	cfg := ConfigFor(opt, scheme)
+	info, ok := scheme.Info()
+	if !ok {
+		return nil, &UnknownSchemeError{Scheme: scheme}
+	}
+	cfg, err := ConfigFor(opt, scheme)
+	if err != nil {
+		return nil, err
+	}
 
-	m := system.New(cfg, machineScheme(scheme))
+	m := system.New(cfg, info.Machine)
 	inst := b.Build(m, opt.Scale)
 	rs := &runSetup{b: b, scheme: scheme, m: m, inst: inst}
 
@@ -165,7 +126,7 @@ func prepare(b *workloads.Benchmark, scheme Scheme, opt Options) (*runSetup, err
 		m.AttachMetrics(opt.Metrics)
 	}
 
-	fn := inst.BuildFn(variantFor(scheme))
+	fn := inst.BuildFn(info.Variant)
 	if fn == nil {
 		return nil, ErrUnsupported
 	}
@@ -175,26 +136,17 @@ func prepare(b *workloads.Benchmark, scheme Scheme, opt Options) (*runSetup, err
 		return nil, fmt.Errorf("harness: %s: benchmark instance has no runs", b.Name)
 	}
 
-	switch scheme {
-	case Converted:
-		pass, err := compiler.ConvertSoftwarePrefetches(fn, compiler.NewAlloc())
+	if info.Pass != nil {
+		pass, err := info.Pass(fn, compiler.NewAlloc())
 		if err != nil {
-			return nil, fmt.Errorf("%s: conversion pass: %w", b.Name, err)
+			return nil, fmt.Errorf("%s: %s pass: %w", b.Name, info.PassName, err)
 		}
 		for id, prog := range pass.Kernels {
 			m.RegisterKernel(id, prog)
 		}
 		rs.pass = pass
-	case Pragma:
-		pass, err := compiler.GeneratePragmaEvents(fn, compiler.NewAlloc())
-		if err != nil {
-			return nil, fmt.Errorf("%s: pragma pass: %w", b.Name, err)
-		}
-		for id, prog := range pass.Kernels {
-			m.RegisterKernel(id, prog)
-		}
-		rs.pass = pass
-	case Manual, ManualBlocked:
+	}
+	if info.Manual {
 		inst.Manual(m)
 	}
 
@@ -229,10 +181,17 @@ func (rs *runSetup) collect(sys system.Result) (Result, error) {
 
 // ConfigFor resolves the machine configuration a Run with these options and
 // scheme would use (exported so CLIs can derive the trace Layout that
-// matches the run).
-func ConfigFor(opt Options, scheme Scheme) system.Config {
+// matches the run). Scheme defaults (ghb-large's big sizing, the blocked
+// mode) come from the registry entry's Configure hook; an unregistered
+// scheme is an *UnknownSchemeError.
+func ConfigFor(opt Options, scheme Scheme) (system.Config, error) {
+	info, ok := scheme.Info()
+	if !ok {
+		return system.Config{}, &UnknownSchemeError{Scheme: scheme}
+	}
 	cfg := system.DefaultConfig()
-	if opt.Config != nil {
+	explicit := opt.Config != nil
+	if explicit {
 		cfg = *opt.Config
 	}
 	if opt.PPUs > 0 {
@@ -241,52 +200,33 @@ func ConfigFor(opt Options, scheme Scheme) system.Config {
 	if opt.PPUMHz > 0 {
 		cfg.Prefetcher.PPUClock = mustClock(opt.PPUMHz)
 	}
-	if scheme == ManualBlocked {
-		cfg.Prefetcher.Blocked = true
+	if info.Configure != nil {
+		info.Configure(&cfg, explicit)
 	}
-	return cfg
+	return cfg, nil
 }
 
 // LayoutFor describes the traced resources of a run with these options and
 // scheme, for the Chrome exporter.
-func LayoutFor(opt Options, scheme Scheme) trace.Layout {
-	cfg := ConfigFor(opt, scheme)
+func LayoutFor(opt Options, scheme Scheme) (trace.Layout, error) {
+	info, ok := scheme.Info()
+	if !ok {
+		return trace.Layout{}, &UnknownSchemeError{Scheme: scheme}
+	}
+	cfg, err := ConfigFor(opt, scheme)
+	if err != nil {
+		return trace.Layout{}, err
+	}
 	lay := trace.Layout{
 		DRAMBanks:  cfg.DRAM.Banks,
 		L1MSHRs:    cfg.L1.MSHRs,
 		L2MSHRs:    cfg.L2.MSHRs,
 		TLBWalkers: cfg.TLB.Walks,
 	}
-	if machineScheme(scheme) == system.Programmable {
+	if info.Machine.IsProgrammable() {
 		lay.PPUs = cfg.Prefetcher.NumPPUs
 	}
-	return lay
-}
-
-func machineScheme(s Scheme) system.Scheme {
-	switch s {
-	case Stride:
-		return system.StridePF
-	case GHBRegular:
-		return system.GHBRegular
-	case GHBLarge:
-		return system.GHBLarge
-	case Pragma, Converted, Manual, ManualBlocked:
-		return system.Programmable
-	default: // NoPF, Software
-		return system.NoPF
-	}
-}
-
-func variantFor(s Scheme) workloads.Variant {
-	switch s {
-	case Software, Converted:
-		return workloads.SWPf
-	case Pragma:
-		return workloads.Pragma
-	default:
-		return workloads.Plain
-	}
+	return lay, nil
 }
 
 // hookStream runs a workload callback (e.g. Graph500's parent reset)

@@ -62,11 +62,10 @@ func (m *Machine) ForkWith(cfg Config) (*Machine, error) {
 	if m.PF != nil {
 		f.PF.RegisterFork(m.PF, remap)
 	}
-	if m.StrideU != nil {
-		f.StrideU.RegisterFork(m.StrideU, remap)
-	}
-	if m.GHBU != nil {
-		f.GHBU.RegisterFork(m.GHBU, remap)
+	if m.Baseline != nil {
+		if err := f.Baseline.RegisterFork(m.Baseline, remap); err != nil {
+			return nil, fmt.Errorf("system: fork: %w", err)
+		}
 	}
 
 	// Phase 2: copy state, functional memory first (stream cloning below
@@ -93,13 +92,8 @@ func (m *Machine) ForkWith(cfg Config) (*Machine, error) {
 			return nil, fmt.Errorf("system: fork: %w", err)
 		}
 	}
-	if m.StrideU != nil {
-		if err := f.StrideU.CopyStateFrom(m.StrideU); err != nil {
-			return nil, fmt.Errorf("system: fork: %w", err)
-		}
-	}
-	if m.GHBU != nil {
-		if err := f.GHBU.CopyStateFrom(m.GHBU); err != nil {
+	if m.Baseline != nil {
+		if err := f.Baseline.CopyStateFrom(m.Baseline); err != nil {
 			return nil, fmt.Errorf("system: fork: %w", err)
 		}
 	}
@@ -142,7 +136,8 @@ func forkCompatible(old, new Config) error {
 		return fmt.Errorf("system: fork cannot change TLB geometry")
 	case new.DRAM != old.DRAM:
 		return fmt.Errorf("system: fork cannot change DRAM geometry")
-	case new.Stride != old.Stride, new.GHB != old.GHB:
+	case new.Stride != old.Stride, new.GHB != old.GHB, new.RPT != old.RPT,
+		new.Delta != old.Delta, new.TSKID != old.TSKID:
 		return fmt.Errorf("system: fork cannot change baseline prefetcher sizing")
 	case new.Prefetcher.NumPPUs != old.Prefetcher.NumPPUs:
 		return fmt.Errorf("system: fork cannot change the PPU count")

@@ -1,0 +1,128 @@
+package system
+
+import (
+	"fmt"
+
+	"eventpf/internal/baseline"
+	"eventpf/internal/mem"
+	"eventpf/internal/sim"
+)
+
+// Scheme selects which hardware prefetcher (if any) the machine carries.
+// Software prefetching is not a machine property: it is a property of the
+// benchmark variant being run (extra SWPf instructions in the IR).
+//
+// Schemes are registry entries, not switch cases: RegisterScheme installs a
+// SchemeSpec describing how the scheme is named, whether it carries the
+// programmable prefetcher, and how its baseline unit is constructed. New
+// assembles whatever the spec says; fork, stats collection and the trace
+// layout are generic over the baseline.Unit interface, so adding a scheme
+// touches exactly one registration.
+type Scheme int
+
+// SchemeSpec describes one machine prefetching scheme.
+type SchemeSpec struct {
+	// Name is the scheme's diagnostic name.
+	Name string
+	// Programmable schemes carry the paper's programmable prefetcher
+	// (PPUs, filter table, observation queue) instead of a baseline unit.
+	Programmable bool
+	// NewUnit, if non-nil, constructs the scheme's hardware prefetch unit
+	// from the machine configuration. The unit must take every sizing knob
+	// from cfg — never from package-level defaults — so explicit Config
+	// overrides always take effect.
+	NewUnit func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit
+}
+
+var schemeSpecs []SchemeSpec
+
+// RegisterScheme adds a machine scheme to the registry and returns its id.
+// Ids are assigned in registration order; the built-in schemes register at
+// package init, keeping their historical values (NoPF=0 … Programmable=4).
+func RegisterScheme(spec SchemeSpec) Scheme {
+	if spec.Name == "" {
+		panic("system: RegisterScheme: scheme needs a name")
+	}
+	schemeSpecs = append(schemeSpecs, spec)
+	return Scheme(len(schemeSpecs) - 1)
+}
+
+// Machine prefetching schemes. The first five keep the ids they had as enum
+// constants; the competitors added with the registry follow.
+var (
+	// NoPF carries no hardware prefetcher.
+	NoPF = RegisterScheme(SchemeSpec{Name: "nopf"})
+	// StridePF carries the Table 1 degree-8 stride prefetcher.
+	StridePF = RegisterScheme(SchemeSpec{
+		Name: "stride",
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+			return baseline.NewStride(eng, cfg.Stride, l1, tlb)
+		},
+	})
+	// GHBRegular carries the SRAM-sized Markov GHB prefetcher.
+	GHBRegular = RegisterScheme(SchemeSpec{
+		Name: "ghb-regular",
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+			return baseline.NewGHB(eng, cfg.GHB, l1, tlb)
+		},
+	})
+	// GHBLarge is the 1 GiB-state Markov GHB study variant. It builds from
+	// cfg.GHB exactly like GHBRegular — the large sizing is a *default*
+	// (baseline.LargeGHBConfig, applied by harness.ConfigFor when no
+	// explicit Config is given), not a constructor override, so a caller's
+	// cfg.GHB is always honoured.
+	GHBLarge = RegisterScheme(SchemeSpec{
+		Name: "ghb-large",
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+			return baseline.NewGHB(eng, cfg.GHB, l1, tlb)
+		},
+	})
+	// Programmable carries the paper's event-triggered prefetcher.
+	Programmable = RegisterScheme(SchemeSpec{Name: "programmable", Programmable: true})
+	// RPT carries the Chen–Baer four-state reference prediction table.
+	RPT = RegisterScheme(SchemeSpec{
+		Name: "rpt",
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+			return baseline.NewRPT(eng, cfg.RPT, l1, tlb)
+		},
+	})
+	// GHBDelta carries the delta-correlating (G/DC) history prefetcher.
+	GHBDelta = RegisterScheme(SchemeSpec{
+		Name: "ghb-delta",
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+			return baseline.NewGHBDelta(eng, cfg.Delta, l1, tlb)
+		},
+	})
+	// TSKID carries the trigger/target timing prefetcher.
+	TSKID = RegisterScheme(SchemeSpec{
+		Name: "tskid",
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+			return baseline.NewTSKID(eng, cfg.TSKID, l1, tlb)
+		},
+	})
+)
+
+// Valid reports whether s names a registered scheme.
+func (s Scheme) Valid() bool { return s >= 0 && int(s) < len(schemeSpecs) }
+
+// Spec returns the scheme's registry entry.
+func (s Scheme) Spec() (SchemeSpec, bool) {
+	if !s.Valid() {
+		return SchemeSpec{}, false
+	}
+	return schemeSpecs[s], true
+}
+
+// IsProgrammable reports whether the scheme carries the programmable
+// prefetcher (so PPU sizing can affect it).
+func (s Scheme) IsProgrammable() bool {
+	spec, ok := s.Spec()
+	return ok && spec.Programmable
+}
+
+func (s Scheme) String() string {
+	if spec, ok := s.Spec(); ok {
+		return spec.Name
+	}
+	return fmt.Sprintf("unknown(%d)", int(s))
+}

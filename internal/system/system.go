@@ -19,36 +19,6 @@ import (
 	"eventpf/internal/trace"
 )
 
-// Scheme selects which hardware prefetcher (if any) the machine carries.
-// Software prefetching is not a machine property: it is a property of the
-// benchmark variant being run (extra SWPf instructions in the IR).
-type Scheme int
-
-// Machine prefetching schemes.
-const (
-	NoPF Scheme = iota
-	StridePF
-	GHBRegular
-	GHBLarge
-	Programmable
-)
-
-func (s Scheme) String() string {
-	switch s {
-	case NoPF:
-		return "nopf"
-	case StridePF:
-		return "stride"
-	case GHBRegular:
-		return "ghb-regular"
-	case GHBLarge:
-		return "ghb-large"
-	case Programmable:
-		return "programmable"
-	}
-	return "unknown"
-}
-
 // Config collects every sizing knob of the simulated machine. The zero
 // value is not usable; start from DefaultConfig.
 type Config struct {
@@ -63,6 +33,9 @@ type Config struct {
 	Prefetcher prefetch.Config
 	Stride     baseline.StrideConfig
 	GHB        baseline.GHBConfig
+	RPT        baseline.RPTConfig
+	Delta      baseline.DeltaConfig
+	TSKID      baseline.TSKIDConfig
 
 	// ContextSwitchTicks, if positive, flushes the programmable prefetcher
 	// on this period, modelling context switches (§5.3).
@@ -81,6 +54,9 @@ func DefaultConfig() Config {
 		Prefetcher:        prefetch.DefaultConfig(),
 		Stride:            baseline.DefaultStrideConfig(),
 		GHB:               baseline.RegularGHBConfig(),
+		RPT:               baseline.DefaultRPTConfig(),
+		Delta:             baseline.DefaultDeltaConfig(),
+		TSKID:             baseline.DefaultTSKIDConfig(),
 	}
 }
 
@@ -97,9 +73,10 @@ type Machine struct {
 	DRAM    *mem.DRAM
 	TLB     *mem.TLB
 	Core    *cpu.Core
-	PF      *prefetch.Prefetcher // nil unless Scheme == Programmable
-	StrideU *baseline.Stride     // nil unless Scheme == StridePF
-	GHBU    *baseline.GHB        // nil unless GHB scheme
+	PF      *prefetch.Prefetcher // nil unless the scheme is programmable
+	// Baseline is the scheme's hardware prefetch unit, built by the scheme
+	// spec's NewUnit hook (nil for no-pf and programmable schemes).
+	Baseline baseline.Unit
 
 	// Counter is the shared dynamic micro-op counter for interpreters
 	// feeding this machine's core.
@@ -153,18 +130,18 @@ func New(cfg Config, scheme Scheme) *Machine {
 
 	m.ctxH.m = m
 
-	switch scheme {
-	case Programmable:
+	spec, ok := scheme.Spec()
+	if !ok {
+		panic(fmt.Sprintf("system: New: unregistered scheme %d", int(scheme)))
+	}
+	switch {
+	case spec.Programmable:
 		m.PF = prefetch.New(eng, cfg.Prefetcher, bk, l1, tlb)
 		if cfg.ContextSwitchTicks > 0 {
 			eng.ScheduleAfter(cfg.ContextSwitchTicks, m.ctxH, 0, 0)
 		}
-	case StridePF:
-		m.StrideU = baseline.NewStride(eng, cfg.Stride, l1, tlb)
-	case GHBRegular:
-		m.GHBU = baseline.NewGHB(eng, cfg.GHB, l1, tlb)
-	case GHBLarge:
-		m.GHBU = baseline.NewGHB(eng, baseline.LargeGHBConfig(), l1, tlb)
+	case spec.NewUnit != nil:
+		m.Baseline = spec.NewUnit(eng, &cfg, l1, tlb)
 	}
 
 	g := newPortGlue(tlb, l1)
@@ -437,11 +414,8 @@ func (m *Machine) Finish() Result {
 			r.Lookaheads[g] = m.PF.Lookahead(g)
 		}
 	}
-	if m.StrideU != nil {
-		r.Baseline = m.StrideU.Stats()
-	}
-	if m.GHBU != nil {
-		r.Baseline = m.GHBU.Stats()
+	if m.Baseline != nil {
+		r.Baseline = m.Baseline.Stats()
 	}
 	return r
 }

@@ -135,6 +135,9 @@ func TestAllSchemesComputeSameAnswer(t *testing.T) {
 	runScheme(t, StridePF, false, false)
 	runScheme(t, GHBRegular, false, false)
 	runScheme(t, GHBLarge, false, false)
+	runScheme(t, RPT, false, false)
+	runScheme(t, GHBDelta, false, false)
+	runScheme(t, TSKID, false, false)
 	runScheme(t, NoPF, true, false)         // software prefetch variant
 	runScheme(t, Programmable, false, true) // manual events
 }

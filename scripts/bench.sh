@@ -13,7 +13,7 @@
 # Output: BENCH_<stamp>.json in the repo root (stamp defaults to yyyymmdd,
 # with "-short" appended under SHORT=1 so short runs are never mistaken for
 # full-scale baselines):
-# {"meta": {"git_sha", "date", "go_version", "short"},
+# {"meta": {"git_sha", "date", "go_version", "short", "schemes"},
 #  "benchmarks": [{"name", "iterations", "metrics": {"ns/op": ..., "wall_s": ...}}, ...]}
 # plus the raw benchmark text alongside it. The meta block makes any two
 # BENCH files comparable without consulting the shell history that made them.
@@ -44,13 +44,16 @@ if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
 fi
 iso_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 go_version="$(go env GOVERSION)"
+# The scheme menu the binary under test carries (registry-derived): two BENCH
+# files are only comparable figure-for-figure if they ran the same schemes.
+schemes="$(go run ./cmd/ppfsim -list-schemes | awk '{printf "%s\"%s\"", sep, $0; sep=","} END{print ""}')"
 
 # shellcheck disable=SC2086 # $shortflag is deliberately empty or "-short"
 go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem $shortflag . | tee "$raw"
 
-awk -v git_sha="$git_sha" -v iso_date="$iso_date" -v go_version="$go_version" -v short="$shortmeta" '
+awk -v git_sha="$git_sha" -v iso_date="$iso_date" -v go_version="$go_version" -v short="$shortmeta" -v schemes="$schemes" '
 BEGIN {
-    printf "{\"meta\":{\"git_sha\":\"%s\",\"date\":\"%s\",\"go_version\":\"%s\",\"short\":%s},\n", git_sha, iso_date, go_version, short
+    printf "{\"meta\":{\"git_sha\":\"%s\",\"date\":\"%s\",\"go_version\":\"%s\",\"short\":%s,\"schemes\":[%s]},\n", git_sha, iso_date, go_version, short, schemes
     print "\"benchmarks\":["
 }
 /^Benchmark/ {
