@@ -229,3 +229,30 @@ func BenchmarkExtraMem(b *testing.B) {
 }
 
 func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// BenchmarkFig12Adaptive regenerates the adaptive-control study: the online
+// controller against every static scheme and the hindsight oracle. The
+// headline metric is the adaptive-over-oracle geomean ratio (1.0 = the
+// controller matches a scheme picked per benchmark with perfect hindsight);
+// switches-total confirms the controller actually adapted rather than
+// riding one arm.
+func BenchmarkFig12Adaptive(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := suite().Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		logSum, n := 0.0, 0
+		var switches int64
+		for _, r := range rows {
+			if r.Oracle > 0 && r.Adaptive > 0 {
+				logSum += math.Log(r.Adaptive / r.Oracle)
+				n++
+			}
+			switches += r.Switches
+		}
+		b.ReportMetric(math.Exp(logSum/float64(n)), "adaptive-over-oracle-geomean")
+		b.ReportMetric(float64(switches), "switches-total")
+	}
+}

@@ -17,7 +17,9 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"eventpf/internal/adaptive"
 	"eventpf/internal/harness"
+	"eventpf/internal/sim"
 	"eventpf/internal/system"
 	"eventpf/internal/trace"
 	"eventpf/internal/workloads"
@@ -40,6 +42,15 @@ func main() {
 		sWarm     = flag.Int64("sample-warm", 0, "with -sample, detailed warmup ops before each measurement interval (0 = default)")
 		sMeasure  = flag.Int64("sample-measure", 0, "with -sample, measured ops per detailed interval (0 = default)")
 		sFF       = flag.Int64("sample-ff", 0, "with -sample, fast-forwarded ops between detailed intervals (0 = default)")
+		aInterval = flag.Int64("adaptive-interval", 0, "adaptive scheme: decision interval in engine ticks (0 = default)")
+		aEpsilon  = flag.Int("adaptive-epsilon", -1, "adaptive scheme: explore 1-in-N decisions, 0 disables (-1 = default)")
+		aSeed     = flag.Uint64("adaptive-seed", 0, "adaptive scheme: exploration RNG seed (0 = default)")
+		aArms     = flag.String("adaptive-arms", "", "adaptive scheme: comma-separated candidate menu (empty = default)")
+		aTrial    = flag.Int("adaptive-trial", 0, "adaptive scheme: measured intervals per sweep trial (0 = default)")
+		aPfTrial  = flag.Int("adaptive-pf-trial", 0, "adaptive scheme: measured intervals per pf-arm trial (0 = default)")
+		aPhase    = flag.Int64("adaptive-phase", 0, "adaptive scheme: phase-change miss-rate threshold in per-mille (0 = default)")
+		aCool     = flag.Int("adaptive-cooldown", -1, "adaptive scheme: phase-detector cooldown intervals (-1 = default)")
+		showAdapt = flag.Bool("show-adaptive", false, "print the effective adaptive controller configuration and exit")
 		ckptOut   = flag.String("checkpoint-out", "", "simulate -checkpoint-ops micro-ops, write a resumable checkpoint to this file, and exit")
 		ckptOps   = flag.Int64("checkpoint-ops", 0, "with -checkpoint-out, how many retired micro-ops to simulate before checkpointing")
 		ckptIn    = flag.String("checkpoint-in", "", "resume the run described by this checkpoint file and complete it")
@@ -55,8 +66,18 @@ func main() {
 		return
 	}
 	if *listSch {
-		for _, name := range harness.SchemeNames() {
-			fmt.Println(name)
+		// Column 1 is the parseable name; scripts should select on it
+		// ($1), not the whole line.
+		for _, s := range harness.AllSchemes {
+			info, _ := s.Info()
+			prog, fig7 := "-", "-"
+			if info.Machine.IsProgrammable() {
+				prog = "programmable"
+			}
+			if info.Fig7 {
+				fig7 = "fig7"
+			}
+			fmt.Printf("%-15s %-12s %-5s %s\n", info.Name, prog, fig7, info.Description)
 		}
 		return
 	}
@@ -121,6 +142,49 @@ func main() {
 	}
 
 	opt := harness.Options{Scale: *scale, PPUs: *ppus, PPUMHz: *ppuMHz, TraceLast: *traceN, Parallel: *parallel}
+	if *aInterval != 0 || *aEpsilon >= 0 || *aSeed != 0 || *aArms != "" || *aTrial > 0 || *aPfTrial > 0 || *aPhase > 0 || *aCool >= 0 {
+		cfg := system.DefaultConfig()
+		if *aInterval != 0 {
+			cfg.Adaptive.IntervalTicks = sim.Ticks(*aInterval)
+		}
+		if *aEpsilon >= 0 {
+			cfg.Adaptive.Epsilon = *aEpsilon
+		}
+		if *aSeed != 0 {
+			cfg.Adaptive.Seed = *aSeed
+		}
+		if *aArms != "" {
+			cfg.Adaptive.Arms = *aArms
+		}
+		if *aTrial > 0 {
+			cfg.Adaptive.TrialIntervals = *aTrial
+		}
+		if *aPfTrial > 0 {
+			cfg.Adaptive.PfTrialIntervals = *aPfTrial
+		}
+		if *aPhase > 0 {
+			cfg.Adaptive.PhasePerMille = *aPhase
+		}
+		if *aCool >= 0 {
+			cfg.Adaptive.Cooldown = *aCool
+		}
+		if err := cfg.Adaptive.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
+			os.Exit(2)
+		}
+		opt.Config = &cfg
+	}
+	if *showAdapt {
+		cfg, err := harness.ConfigFor(opt, scheme)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
+			os.Exit(2)
+		}
+		a := cfg.Adaptive
+		fmt.Printf("policy=%s interval=%d epsilon=%d seed=%d arms=%s\n",
+			adaptive.PolicyName, a.IntervalTicks, a.Epsilon, a.Seed, a.Arms)
+		return
+	}
 	if *sample {
 		sc := system.DefaultSampleConfig()
 		if *sWarm > 0 {

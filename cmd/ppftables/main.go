@@ -1,5 +1,6 @@
 // Command ppftables regenerates the paper's tables and figures (Tables 1–2,
-// Figures 7–11, and the §7 textual analyses) as aligned text tables.
+// Figures 7–11, the §7 textual analyses, and the repository's own Figure 12
+// adaptive-control study) as aligned text tables.
 //
 // Usage:
 //
@@ -20,12 +21,12 @@ import (
 
 var experiments = []string{
 	"table1", "table2", "fig7", "fig8a", "fig8b", "fig9a", "fig9b",
-	"fig10", "fig11", "instrs", "extramem", "ablation", "ctxswitch",
+	"fig10", "fig11", "fig12", "instrs", "extramem", "ablation", "ctxswitch",
 }
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1 table2 fig7 fig8a fig8b fig9a fig9b fig10 fig11 instrs extramem ablation ctxswitch) or 'all'")
+		exp      = flag.String("exp", "all", "experiment id (table1 table2 fig7 fig8a fig8b fig9a fig9b fig10 fig11 fig12 instrs extramem ablation ctxswitch) or 'all'")
 		scale    = flag.Float64("scale", 0.15, "input scale relative to the default reduced inputs")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	)
@@ -89,6 +90,12 @@ func runExperiment(s *harness.Suite, id string) (string, error) {
 			return "", err
 		}
 		return harness.FormatFig11(rows), nil
+	case "fig12":
+		rows, err := s.Fig12()
+		if err != nil {
+			return "", err
+		}
+		return harness.FormatFig12(rows), nil
 	case "instrs":
 		rows, err := s.InstrOverhead()
 		if err != nil {

@@ -49,6 +49,7 @@ var (
 	RPT           = harness.RPT
 	GHBDelta      = harness.GHBDelta
 	TSKID         = harness.TSKID
+	Adaptive      = harness.Adaptive
 )
 
 // Options adjusts a run; see harness.Options.

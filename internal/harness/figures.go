@@ -916,3 +916,121 @@ func Table2() string {
 	}
 	return sb.String()
 }
+
+// Fig12Row is one benchmark's row in the adaptive-control study (the
+// repository's Figure 12, not a paper figure): speedup over no prefetching
+// for the online adaptive controller, for every static Figure 7 scheme, and
+// for the oracle-best static — the per-benchmark maximum a scheme picked
+// with perfect hindsight would achieve. Statics a benchmark does not
+// support are NaN, as in Figure 7.
+type Fig12Row struct {
+	Benchmark string
+	Adaptive  float64
+	// Oracle is the best static speedup on this benchmark; OracleScheme
+	// names the static that achieved it.
+	Oracle       float64
+	OracleScheme Scheme
+	Static       map[Scheme]float64
+	// Switches and IdleDemotes summarise the controller's activity.
+	Switches    int64
+	IdleDemotes int64
+}
+
+// fig12Benches is the Figure 12 row set: every Table 2 benchmark plus the
+// Extra workloads (the synthetic phase-alternation study), which figure
+// sweeps over All deliberately exclude.
+func fig12Benches() []*workloads.Benchmark {
+	benches := append([]*workloads.Benchmark{}, workloads.All...)
+	return append(benches, workloads.Extra...)
+}
+
+// Fig12 runs the adaptive-control comparison: the adaptive controller
+// against every static scheme and the oracle-best static, on the Table 2
+// benchmarks plus the Extra phase-alternation workload.
+func (s *Suite) Fig12() ([]Fig12Row, error) {
+	benches := fig12Benches()
+	var pairs []Pair
+	for _, b := range benches {
+		pairs = append(pairs, Pair{Bench: b, Scheme: NoPF}, Pair{Bench: b, Scheme: Adaptive})
+		for _, sch := range Schemes {
+			pairs = append(pairs, Pair{Bench: b, Scheme: sch})
+		}
+	}
+	if err := s.Prefetch(pairs); err != nil {
+		return nil, err
+	}
+	var rows []Fig12Row
+	for _, b := range benches {
+		base, err := s.run(b, NoPF)
+		if err != nil {
+			return nil, err
+		}
+		ad, err := s.run(b, Adaptive)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig12Row{
+			Benchmark: b.Name,
+			Adaptive:  Speedup(base, ad),
+			Oracle:    math.NaN(),
+			Static:    map[Scheme]float64{},
+		}
+		if ad.Adaptive != nil {
+			row.Switches = ad.Adaptive.Switches
+			row.IdleDemotes = ad.Adaptive.IdleDemotes
+		}
+		for _, sch := range Schemes {
+			r, err := s.run(b, sch)
+			if err == ErrUnsupported {
+				row.Static[sch] = math.NaN()
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			v := Speedup(base, r)
+			row.Static[sch] = v
+			if math.IsNaN(row.Oracle) || v > row.Oracle {
+				row.Oracle, row.OracleScheme = v, sch
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig12 renders the adaptive-control study. The closing geomean row
+// is the acceptance check for the adaptive controller: its geomean should
+// sit within a few percent of the hindsight oracle's, and above every
+// static's.
+func FormatFig12(rows []Fig12Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %9s %9s %-10s", "bench", "adaptive", "oracle", "(scheme)")
+	for _, sch := range Schemes {
+		fmt.Fprintf(&sb, " %12s", sch)
+	}
+	sb.WriteByte('\n')
+	var adGeo, orGeo []float64
+	geo := map[Scheme][]float64{}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %8.2fx %8.2fx %-10s", r.Benchmark, r.Adaptive, r.Oracle, r.OracleScheme)
+		adGeo = append(adGeo, r.Adaptive)
+		orGeo = append(orGeo, r.Oracle)
+		for _, sch := range Schemes {
+			v := r.Static[sch]
+			if math.IsNaN(v) {
+				fmt.Fprintf(&sb, " %12s", "-")
+			} else {
+				fmt.Fprintf(&sb, " %11.2fx", v)
+				geo[sch] = append(geo[sch], v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-10s %8.2fx %8.2fx %-10s", "geomean", geomean(adGeo), geomean(orGeo), "")
+	for _, sch := range Schemes {
+		fmt.Fprintf(&sb, " %11.2fx", geomean(geo[sch]))
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -29,6 +29,8 @@ type Scheme int
 type SchemeInfo struct {
 	// Name is the parseable name used by CLIs, JSON and the serving layer.
 	Name string
+	// Description is the one-line summary ppfsim -list-schemes prints.
+	Description string
 	// Machine selects the hardware prefetcher the simulated machine carries.
 	Machine system.Scheme
 	// Variant selects which build of the benchmark runs (plain, software
@@ -75,16 +77,20 @@ func Register(info SchemeInfo) Scheme {
 // The paper's comparison schemes, plus the competitor prefetchers.
 var (
 	// NoPF is the no-prefetching baseline every speedup is relative to.
-	NoPF = Register(SchemeInfo{Name: "no-pf", Machine: system.NoPF})
+	NoPF = Register(SchemeInfo{Name: "no-pf", Machine: system.NoPF,
+		Description: "no prefetching; the baseline every speedup is relative to"})
 	// Stride is the Table 1 degree-8 stride prefetcher.
-	Stride = Register(SchemeInfo{Name: "stride", Machine: system.StridePF, Fig7: true})
+	Stride = Register(SchemeInfo{Name: "stride", Machine: system.StridePF, Fig7: true,
+		Description: "reference-prediction-table stride prefetcher, degree 8 (Table 1)"})
 	// GHBRegular is the SRAM-sized Markov GHB prefetcher.
-	GHBRegular = Register(SchemeInfo{Name: "ghb-regular", Machine: system.GHBRegular, Fig7: true})
+	GHBRegular = Register(SchemeInfo{Name: "ghb-regular", Machine: system.GHBRegular, Fig7: true,
+		Description: "SRAM-sized Markov global-history-buffer prefetcher"})
 	// GHBLarge is the 1 GiB-state Markov GHB study variant: the same machine
 	// scheme as GHBRegular, with the large sizing applied as a *default* —
 	// an explicit Options.Config keeps its own cfg.GHB.
 	GHBLarge = Register(SchemeInfo{
 		Name: "ghb-large", Machine: system.GHBLarge, Fig7: true,
+		Description: "Markov GHB with effectively unbounded (1 GiB) state",
 		Configure: func(cfg *system.Config, explicit bool) {
 			if !explicit {
 				cfg.GHB = baseline.LargeGHBConfig()
@@ -95,37 +101,55 @@ var (
 	// hardware prefetcher.
 	Software = Register(SchemeInfo{
 		Name: "software", Machine: system.NoPF, Variant: workloads.SWPf, Fig7: true,
+		Description: "software-prefetch build, no hardware prefetcher",
 	})
 	// Pragma runs the plain build under kernels generated from programmer
 	// pragmas (§6.2).
 	Pragma = Register(SchemeInfo{
 		Name: "pragma", Machine: system.Programmable, Variant: workloads.Pragma, Fig7: true,
 		Pass: compiler.GeneratePragmaEvents, PassName: "pragma",
+		Description: "event kernels generated from programmer pragmas (§6.2)",
 	})
 	// Converted runs the software-prefetch build with the prefetches
 	// converted into event kernels (§6.1).
 	Converted = Register(SchemeInfo{
 		Name: "converted", Machine: system.Programmable, Variant: workloads.SWPf, Fig7: true,
 		Pass: compiler.ConvertSoftwarePrefetches, PassName: "conversion",
+		Description: "software prefetches converted into event kernels (§6.1)",
 	})
 	// Manual runs the hand-written event kernels (§6.3).
 	Manual = Register(SchemeInfo{
 		Name: "manual", Machine: system.Programmable, Fig7: true, Manual: true,
+		Description: "hand-written event kernels on the programmable prefetcher (§6.3)",
 	})
 	// ManualBlocked is the Figure 11 variant: events replaced by blocking
 	// loads inside the PPUs.
 	ManualBlocked = Register(SchemeInfo{
 		Name: "manual-blocked", Machine: system.Programmable, Manual: true,
+		Description: "Figure 11 variant: events replaced by blocking loads in the PPUs",
 		Configure: func(cfg *system.Config, explicit bool) {
 			cfg.Prefetcher.Blocked = true
 		},
 	})
 	// RPT is the Chen–Baer reference-prediction-table competitor.
-	RPT = Register(SchemeInfo{Name: "rpt", Machine: system.RPT, Fig7: true})
+	RPT = Register(SchemeInfo{Name: "rpt", Machine: system.RPT, Fig7: true,
+		Description: "Chen–Baer four-state reference prediction table"})
 	// GHBDelta is the delta-correlating (G/DC) GHB competitor.
-	GHBDelta = Register(SchemeInfo{Name: "ghb-delta", Machine: system.GHBDelta, Fig7: true})
+	GHBDelta = Register(SchemeInfo{Name: "ghb-delta", Machine: system.GHBDelta, Fig7: true,
+		Description: "GHB delta-correlation (G/DC) prefetcher"})
 	// TSKID is the T-SKID-style timing-prefetch competitor.
-	TSKID = Register(SchemeInfo{Name: "tskid", Machine: system.TSKID, Fig7: true})
+	TSKID = Register(SchemeInfo{Name: "tskid", Machine: system.TSKID, Fig7: true,
+		Description: "T-SKID-style trigger/target prefetcher with learned issue delay"})
+	// Adaptive is the online adaptive controller (internal/adaptive): the
+	// programmable prefetcher plus a menu of baseline units hosted on one
+	// machine, phase-detected and switched at runtime. It runs the plain
+	// build with the manual kernels installed (the "pf" arm), and stays out
+	// of Figure 7 so the static matrices and goldens are unchanged; the
+	// Figure 12 experiment compares it against every static scheme.
+	Adaptive = Register(SchemeInfo{
+		Name: "adaptive", Machine: system.Adaptive, Manual: true,
+		Description: "online controller switching between candidate prefetchers per phase",
+	})
 )
 
 // Derived views of the registry, fixed after package init.

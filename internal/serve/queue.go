@@ -105,14 +105,10 @@ func (s *Server) simulate(jb *Job) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// observeRunDuration feeds the Retry-After estimator (EWMA, α=1/4).
+// observeRunDuration feeds the Retry-After estimator (stats.EWMA, α=1/4).
 func (s *Server) observeRunDuration(d time.Duration) {
 	s.mu.Lock()
-	if s.ewmaRunNs == 0 {
-		s.ewmaRunNs = d.Nanoseconds()
-	} else {
-		s.ewmaRunNs += (d.Nanoseconds() - s.ewmaRunNs) / 4
-	}
+	s.ewmaRun.Observe(d.Nanoseconds())
 	s.mu.Unlock()
 }
 
@@ -120,7 +116,7 @@ func (s *Server) observeRunDuration(d time.Duration) {
 // queue slot: the queued work divided by the worker pool, clamped to
 // [1s, 30s]. Callers hold s.mu.
 func (s *Server) retryAfterLocked() int {
-	est := time.Duration(s.ewmaRunNs) * time.Duration(len(s.queue)+1) / time.Duration(s.cfg.Workers)
+	est := time.Duration(s.ewmaRun.Value()) * time.Duration(len(s.queue)+1) / time.Duration(s.cfg.Workers)
 	sec := int(est / time.Second)
 	if sec < 1 {
 		sec = 1

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"eventpf/internal/harness"
+	"eventpf/internal/stats"
 	"eventpf/internal/workloads"
 )
 
@@ -118,7 +119,7 @@ type Server struct {
 	queue      chan *Job
 	draining   bool
 	drained    chan struct{} // closed when Drain finishes
-	ewmaRunNs  int64         // smoothed job duration, feeds Retry-After
+	ewmaRun    stats.EWMA    // smoothed job duration, feeds Retry-After
 
 	workerWG sync.WaitGroup
 }
@@ -134,6 +135,7 @@ func NewServer(cfg Config) *Server {
 		cache:    map[string]*list.Element{},
 		cacheLRU: list.New(),
 		queue:    make(chan *Job, cfg.QueueDepth),
+		ewmaRun:  stats.NewEWMA(4),
 		drained:  make(chan struct{}),
 		sim:      newSimAggregate(),
 	}

@@ -1,0 +1,96 @@
+package system
+
+import "testing"
+
+// runUntilSetup builds a machine mid-run: started, not yet drained.
+func runUntilSetup(t *testing.T) (*Machine, uint64) {
+	t.Helper()
+	m := New(DefaultConfig(), NoPF)
+	aB, bB, cB, want := setupData(m)
+	fn := buildIndirectSum(t, false)
+	m.Start(m.NewInterp(fn, aB, bB, cB, testN))
+	return m, want
+}
+
+// A target of zero (or negative) must return without advancing simulated
+// time: the core has retired zero ops, which already satisfies the bound.
+func TestRunUntilOpsNonPositiveTarget(t *testing.T) {
+	m, _ := runUntilSetup(t)
+	for _, n := range []int64{0, -1} {
+		m.RunUntilOps(n)
+		if now := m.Eng.Now(); now != 0 {
+			t.Fatalf("RunUntilOps(%d) advanced the engine to tick %d", n, now)
+		}
+		if ops := m.Core.Stats.Ops; ops != 0 {
+			t.Fatalf("RunUntilOps(%d) retired %d ops", n, ops)
+		}
+	}
+}
+
+// A target at or below the current retired count must be a no-op, however
+// far the run has already progressed.
+func TestRunUntilOpsTargetAlreadyRetired(t *testing.T) {
+	m, _ := runUntilSetup(t)
+	m.RunUntilOps(500)
+	ops, now := m.Core.Stats.Ops, m.Eng.Now()
+	if ops < 500 {
+		t.Fatalf("RunUntilOps(500) stopped at %d ops", ops)
+	}
+	m.RunUntilOps(ops) // exactly the current count
+	m.RunUntilOps(1)   // far below it
+	if m.Core.Stats.Ops != ops || m.Eng.Now() != now {
+		t.Fatalf("satisfied target advanced the run: %d ops @%d -> %d ops @%d",
+			ops, now, m.Core.Stats.Ops, m.Eng.Now())
+	}
+}
+
+// A target beyond the program's length must stop at run completion rather
+// than spin on a drained engine, and the finished machine must produce the
+// same answer as an uninterrupted Run.
+func TestRunUntilOpsTargetBeyondProgram(t *testing.T) {
+	m, _ := runUntilSetup(t)
+	m.RunUntilOps(1 << 62)
+	if !m.Done() {
+		t.Fatal("RunUntilOps(huge) returned before the run completed")
+	}
+	m.Drain() // engine still holds post-retirement events; must not panic
+	if res := m.Finish(); res.Core.Ops == 0 {
+		t.Fatal("no ops retired")
+	}
+}
+
+// After Drain, any further RunUntilOps call must be a no-op: runDone stays
+// set and the drained engine is never stepped (stepping it would panic).
+func TestRunUntilOpsAfterDrain(t *testing.T) {
+	m, _ := runUntilSetup(t)
+	m.Drain()
+	now := m.Eng.Now()
+	m.RunUntilOps(1 << 62)
+	if m.Eng.Now() != now {
+		t.Fatalf("RunUntilOps after Drain advanced the engine: %d -> %d", now, m.Eng.Now())
+	}
+	if !m.Done() {
+		t.Fatal("Done() flipped back after Drain")
+	}
+}
+
+// RunUntilOps in small increments must retire exactly the same run as one
+// uninterrupted Drain: same cycle count, same retired ops (determinism is
+// what the fork/checkpoint machinery leans on).
+func TestRunUntilOpsIncrementalMatchesStraightRun(t *testing.T) {
+	straight, _ := runUntilSetup(t)
+	straight.Drain()
+	sres := straight.Finish()
+
+	step, _ := runUntilSetup(t)
+	for n := int64(1000); !step.Done(); n += 1000 {
+		step.RunUntilOps(n)
+	}
+	step.Drain()
+	res := step.Finish()
+
+	if res.Cycles != sres.Cycles || res.Core.Ops != sres.Core.Ops {
+		t.Fatalf("incremental run diverged: %d cycles/%d ops vs %d cycles/%d ops",
+			res.Cycles, res.Core.Ops, sres.Cycles, sres.Core.Ops)
+	}
+}

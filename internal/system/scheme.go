@@ -3,8 +3,10 @@ package system
 import (
 	"fmt"
 
+	"eventpf/internal/adaptive"
 	"eventpf/internal/baseline"
 	"eventpf/internal/mem"
+	"eventpf/internal/prefetch"
 	"eventpf/internal/sim"
 )
 
@@ -30,8 +32,11 @@ type SchemeSpec struct {
 	// NewUnit, if non-nil, constructs the scheme's hardware prefetch unit
 	// from the machine configuration. The unit must take every sizing knob
 	// from cfg — never from package-level defaults — so explicit Config
-	// overrides always take effect.
-	NewUnit func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit
+	// overrides always take effect. pf is the machine's programmable
+	// prefetcher if the scheme also set Programmable (the adaptive
+	// controller hosts it as an arm), nil otherwise; it is built first, so
+	// its L1 hooks are already installed when NewUnit runs.
+	NewUnit func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB, pf *prefetch.Prefetcher) baseline.Unit
 }
 
 var schemeSpecs []SchemeSpec
@@ -55,14 +60,14 @@ var (
 	// StridePF carries the Table 1 degree-8 stride prefetcher.
 	StridePF = RegisterScheme(SchemeSpec{
 		Name: "stride",
-		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB, _ *prefetch.Prefetcher) baseline.Unit {
 			return baseline.NewStride(eng, cfg.Stride, l1, tlb)
 		},
 	})
 	// GHBRegular carries the SRAM-sized Markov GHB prefetcher.
 	GHBRegular = RegisterScheme(SchemeSpec{
 		Name: "ghb-regular",
-		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB, _ *prefetch.Prefetcher) baseline.Unit {
 			return baseline.NewGHB(eng, cfg.GHB, l1, tlb)
 		},
 	})
@@ -73,7 +78,7 @@ var (
 	// cfg.GHB is always honoured.
 	GHBLarge = RegisterScheme(SchemeSpec{
 		Name: "ghb-large",
-		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB, _ *prefetch.Prefetcher) baseline.Unit {
 			return baseline.NewGHB(eng, cfg.GHB, l1, tlb)
 		},
 	})
@@ -82,22 +87,52 @@ var (
 	// RPT carries the Chen–Baer four-state reference prediction table.
 	RPT = RegisterScheme(SchemeSpec{
 		Name: "rpt",
-		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB, _ *prefetch.Prefetcher) baseline.Unit {
 			return baseline.NewRPT(eng, cfg.RPT, l1, tlb)
 		},
 	})
 	// GHBDelta carries the delta-correlating (G/DC) history prefetcher.
 	GHBDelta = RegisterScheme(SchemeSpec{
 		Name: "ghb-delta",
-		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB, _ *prefetch.Prefetcher) baseline.Unit {
 			return baseline.NewGHBDelta(eng, cfg.Delta, l1, tlb)
 		},
 	})
 	// TSKID carries the trigger/target timing prefetcher.
 	TSKID = RegisterScheme(SchemeSpec{
 		Name: "tskid",
-		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB) baseline.Unit {
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB, _ *prefetch.Prefetcher) baseline.Unit {
 			return baseline.NewTSKID(eng, cfg.TSKID, l1, tlb)
+		},
+	})
+	// Adaptive carries the online adaptive controller: the programmable
+	// prefetcher plus a menu of baseline units, with one active at a time
+	// (internal/adaptive). Programmable and NewUnit together make New build
+	// both halves; the controller's builder maps menu names to candidate
+	// constructors sized from cfg, including degree-knob variants.
+	Adaptive = RegisterScheme(SchemeSpec{
+		Name:         "adaptive",
+		Programmable: true,
+		NewUnit: func(eng *sim.Engine, cfg *Config, l1 *mem.Cache, tlb *mem.TLB, pf *prefetch.Prefetcher) baseline.Unit {
+			return adaptive.New(eng, cfg.Adaptive, l1, pf, func(name string) baseline.Unit {
+				switch name {
+				case "stride":
+					return baseline.NewStride(eng, cfg.Stride, l1, tlb)
+				case "stride-d2":
+					c := cfg.Stride
+					c.Degree = 2
+					return baseline.NewStride(eng, c, l1, tlb)
+				case "ghb":
+					return baseline.NewGHB(eng, cfg.GHB, l1, tlb)
+				case "ghb-delta":
+					return baseline.NewGHBDelta(eng, cfg.Delta, l1, tlb)
+				case "rpt":
+					return baseline.NewRPT(eng, cfg.RPT, l1, tlb)
+				case "tskid":
+					return baseline.NewTSKID(eng, cfg.TSKID, l1, tlb)
+				}
+				return nil
+			})
 		},
 	})
 )

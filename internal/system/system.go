@@ -9,6 +9,7 @@ package system
 import (
 	"fmt"
 
+	"eventpf/internal/adaptive"
 	"eventpf/internal/baseline"
 	"eventpf/internal/cpu"
 	"eventpf/internal/ir"
@@ -36,6 +37,7 @@ type Config struct {
 	RPT        baseline.RPTConfig
 	Delta      baseline.DeltaConfig
 	TSKID      baseline.TSKIDConfig
+	Adaptive   adaptive.Config
 
 	// ContextSwitchTicks, if positive, flushes the programmable prefetcher
 	// on this period, modelling context switches (§5.3).
@@ -57,6 +59,7 @@ func DefaultConfig() Config {
 		RPT:               baseline.DefaultRPTConfig(),
 		Delta:             baseline.DefaultDeltaConfig(),
 		TSKID:             baseline.DefaultTSKIDConfig(),
+		Adaptive:          adaptive.DefaultConfig(),
 	}
 }
 
@@ -134,14 +137,18 @@ func New(cfg Config, scheme Scheme) *Machine {
 	if !ok {
 		panic(fmt.Sprintf("system: New: unregistered scheme %d", int(scheme)))
 	}
-	switch {
-	case spec.Programmable:
+	// Programmable and NewUnit are not exclusive: the adaptive scheme sets
+	// both, hosting the programmable prefetcher as one arm of its menu. The
+	// prefetcher is built first so its L1 hooks are in place when the unit
+	// constructor captures them.
+	if spec.Programmable {
 		m.PF = prefetch.New(eng, cfg.Prefetcher, bk, l1, tlb)
 		if cfg.ContextSwitchTicks > 0 {
 			eng.ScheduleAfter(cfg.ContextSwitchTicks, m.ctxH, 0, 0)
 		}
-	case spec.NewUnit != nil:
-		m.Baseline = spec.NewUnit(eng, &cfg, l1, tlb)
+	}
+	if spec.NewUnit != nil {
+		m.Baseline = spec.NewUnit(eng, &cfg, l1, tlb, m.PF)
 	}
 
 	g := newPortGlue(tlb, l1)
@@ -166,7 +173,21 @@ func New(cfg Config, scheme Scheme) *Machine {
 		Clock: coreClk, Width: cfg.Width, ROB: cfg.ROB, LQ: cfg.LQ, SQ: cfg.SQ,
 		MispredictPenalty: cfg.MispredictPenalty,
 	}, ports)
+	// A unit that wants host taps (the adaptive controller's reward and
+	// end-of-run signals) gets them once the core exists. The structural
+	// interface keeps the dependency one-way: this package imports adaptive,
+	// never the reverse.
+	if hb, ok := m.Baseline.(hostBound); ok {
+		hb.BindHost(func() int64 { return m.Core.Stats.Ops }, func() bool { return m.coreDone })
+	}
 	return m
+}
+
+// hostBound is implemented by units that need taps into the host machine
+// (currently adaptive.Unit). BindHost also arms the unit's first periodic
+// event.
+type hostBound interface {
+	BindHost(ops func() int64, done func() bool)
 }
 
 // portGlue is the allocation-free bridge between the core's memory ports and
@@ -261,6 +282,9 @@ func (m *Machine) AttachTrace(bus *trace.Bus) {
 	if m.PF != nil {
 		m.PF.Bus = bus
 	}
+	if tb, ok := m.Baseline.(interface{ AttachTrace(*trace.Bus) }); ok {
+		tb.AttachTrace(bus)
+	}
 }
 
 // AttachMetrics registers the machine's queue-occupancy histograms
@@ -269,6 +293,9 @@ func (m *Machine) AttachMetrics(reg *trace.Registry) {
 	m.TLB.AttachMetrics(reg)
 	if m.PF != nil {
 		m.PF.AttachMetrics(reg)
+	}
+	if mb, ok := m.Baseline.(interface{ AttachMetrics(*trace.Registry) }); ok {
+		mb.AttachMetrics(reg)
 	}
 }
 
@@ -347,6 +374,8 @@ type Result struct {
 	// Sampled is set only on RunSampled runs, so full-run result encodings
 	// are byte-identical to earlier versions.
 	Sampled *SampledStats `json:",omitempty"`
+	// Adaptive is set only for the adaptive scheme (same reason).
+	Adaptive *adaptive.Stats `json:",omitempty"`
 }
 
 // Run executes the micro-op stream to completion and returns the collected
@@ -416,6 +445,10 @@ func (m *Machine) Finish() Result {
 	}
 	if m.Baseline != nil {
 		r.Baseline = m.Baseline.Stats()
+	}
+	if au, ok := m.Baseline.(*adaptive.Unit); ok {
+		cs := au.ControllerStats()
+		r.Adaptive = &cs
 	}
 	return r
 }

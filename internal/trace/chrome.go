@@ -23,6 +23,7 @@ type Layout struct {
 const (
 	tidCoreBase = 10  // + stall reason
 	tidPrefetch = 50  // prefetcher lifecycle instants
+	tidAdaptive = 51  // adaptive controller decisions
 	tidPPUBase  = 100 // + PPU id
 	tidBankBase = 200 // + DRAM bank
 	tidL1MSHR   = 300 // + MSHR slot
@@ -81,6 +82,7 @@ func WriteChrome(w io.Writer, events []Event, lay Layout) error {
 	add := func(e chromeEvent) { out.TraceEvents = append(out.TraceEvents, e) }
 
 	add(meta(tidPrefetch, "prefetcher"))
+	add(meta(tidAdaptive, "adaptive controller"))
 	stallNames := [...]string{
 		StallLQ: "core stall: LQ full", StallSQ: "core stall: SQ full",
 		StallRedirect: "core stall: redirect", StallRetire: "core stall: retire",
@@ -196,6 +198,19 @@ func WriteChrome(w io.Writer, events []Event, lay Layout) error {
 				}
 				stall[e.A] = openSlice{at: e.At, name: name}
 			}
+		case AdaptiveSwitch:
+			reasons := [...]string{SwitchSweep: "sweep", SwitchExploit: "exploit", SwitchExplore: "explore"}
+			name := "switch"
+			if int(e.C) >= 0 && int(e.C) < len(reasons) {
+				name = "switch: " + reasons[e.C]
+			}
+			add(instant(tidAdaptive, name, e.At, map[string]any{"from": e.A, "to": e.B}))
+		case AdaptivePhase:
+			name := "phase: rising"
+			if e.C > 0 {
+				name = "phase: pf-idle"
+			}
+			add(instant(tidAdaptive, name, e.At, map[string]any{"fast": e.A, "slow": e.B}))
 		case CoreStallEnd:
 			if s, ok := stall[e.A]; ok {
 				closeSlice(tidCoreBase+int(e.A), s, e.At)

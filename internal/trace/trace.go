@@ -47,6 +47,16 @@ const (
 	TLBWalk       // page-table walk; A=walker slot, B=1 mapped/0 fault, Dur=walk latency
 	CoreStall     // dispatch/retire stall began; A=stall reason (Stall*)
 	CoreStallEnd  // the stall reason cleared; A=stall reason
+
+	AdaptiveSwitch // adaptive controller changed the active arm; A=from arm, B=to arm, C=reason (Switch*)
+	AdaptivePhase  // adaptive phase detector fired; A=fast miss-rate EWMA (per-mille), B=slow
+)
+
+// AdaptiveSwitch reasons (Event.C).
+const (
+	SwitchSweep   int32 = iota // trialling arms after a phase change / at start
+	SwitchExploit              // settled on the best-reward arm
+	SwitchExplore              // epsilon-greedy exploration interval
 )
 
 // PFDrop reasons (Event.A).
@@ -79,6 +89,7 @@ var kindNames = [...]string{
 	CacheMSHRFull: "mshr-full", CachePFDrop: "cache-pf-drop",
 	DRAMAccess: "dram", TLBWalk: "tlb-walk",
 	CoreStall: "core-stall", CoreStallEnd: "core-stall-end",
+	AdaptiveSwitch: "adapt-switch", AdaptivePhase: "adapt-phase",
 }
 
 func (k Kind) String() string {

@@ -108,6 +108,8 @@ func TestWriteChromeProducesValidJSON(t *testing.T) {
 		{At: 500, Kind: PFFill, ID: 0, A: 2, B: 1},
 		{At: 510, Kind: CoreStall, A: StallLQ},
 		{At: 600, Kind: CoreStallEnd, A: StallLQ},
+		{At: 620, Kind: AdaptiveSwitch, A: 0, B: 4, C: SwitchSweep},
+		{At: 640, Kind: AdaptivePhase, A: 300, B: 100, C: -1},
 	}
 	lay := Layout{PPUs: 2, DRAMBanks: 8, L1MSHRs: 12, L2MSHRs: 16, TLBWalkers: 3}
 	var buf bytes.Buffer
@@ -127,7 +129,7 @@ func TestWriteChromeProducesValidJSON(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
 		t.Fatalf("exported trace is not valid JSON: %v", err)
 	}
-	var kernelSlices, metas, fills int
+	var kernelSlices, metas, fills, adapts int
 	for _, e := range parsed.TraceEvents {
 		switch {
 		case e.Ph == "M":
@@ -136,10 +138,13 @@ func TestWriteChromeProducesValidJSON(t *testing.T) {
 			kernelSlices++
 		case e.Name == "fill":
 			fills++
+		case strings.HasPrefix(e.Name, "switch:") || strings.HasPrefix(e.Name, "phase:"):
+			adapts++
 		}
 	}
-	// 2 PPUs + 8 banks + 12 + 16 MSHRs + 3 walkers + prefetcher + 4 stalls.
-	if want := 2 + 8 + 12 + 16 + 3 + 1 + 4; metas != want {
+	// 2 PPUs + 8 banks + 12 + 16 MSHRs + 3 walkers + prefetcher +
+	// adaptive controller + 4 stalls.
+	if want := 2 + 8 + 12 + 16 + 3 + 1 + 1 + 4; metas != want {
 		t.Errorf("thread_name metadata events = %d, want %d", metas, want)
 	}
 	if kernelSlices != 1 {
@@ -147,6 +152,9 @@ func TestWriteChromeProducesValidJSON(t *testing.T) {
 	}
 	if fills != 1 {
 		t.Errorf("fill instants = %d, want 1", fills)
+	}
+	if adapts != 2 {
+		t.Errorf("adaptive controller instants = %d, want 2", adapts)
 	}
 }
 
@@ -166,7 +174,7 @@ func TestWriteChromeClosesOpenSlices(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for k := PFObserve; k <= CoreStallEnd; k++ {
+	for k := PFObserve; k <= AdaptivePhase; k++ {
 		if k.String() == "unknown" || k.String() == "" {
 			t.Errorf("kind %d has no name", k)
 		}

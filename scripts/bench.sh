@@ -46,14 +46,23 @@ iso_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 go_version="$(go env GOVERSION)"
 # The scheme menu the binary under test carries (registry-derived): two BENCH
 # files are only comparable figure-for-figure if they ran the same schemes.
-schemes="$(go run ./cmd/ppfsim -list-schemes | awk '{printf "%s\"%s\"", sep, $0; sep=","} END{print ""}')"
+schemes="$(go run ./cmd/ppfsim -list-schemes | awk '{printf "%s\"%s\"", sep, $1; sep=","} END{print ""}')"
+# The adaptive controller's effective policy knobs: two BENCH files that ran
+# the adaptive figure are only comparable if the controller they measured was
+# configured identically.
+adaptive_line="$(go run ./cmd/ppfsim -show-adaptive)"
+adaptive_policy="$(printf '%s\n' "$adaptive_line" | tr ' ' '\n' | sed -n 's/^policy=//p')"
+adaptive_interval="$(printf '%s\n' "$adaptive_line" | tr ' ' '\n' | sed -n 's/^interval=//p')"
+adaptive_seed="$(printf '%s\n' "$adaptive_line" | tr ' ' '\n' | sed -n 's/^seed=//p')"
 
 # shellcheck disable=SC2086 # $shortflag is deliberately empty or "-short"
 go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem $shortflag . | tee "$raw"
 
-awk -v git_sha="$git_sha" -v iso_date="$iso_date" -v go_version="$go_version" -v short="$shortmeta" -v schemes="$schemes" '
+awk -v git_sha="$git_sha" -v iso_date="$iso_date" -v go_version="$go_version" -v short="$shortmeta" -v schemes="$schemes" \
+    -v apolicy="$adaptive_policy" -v ainterval="$adaptive_interval" -v aseed="$adaptive_seed" '
 BEGIN {
-    printf "{\"meta\":{\"git_sha\":\"%s\",\"date\":\"%s\",\"go_version\":\"%s\",\"short\":%s,\"schemes\":[%s]},\n", git_sha, iso_date, go_version, short, schemes
+    printf "{\"meta\":{\"git_sha\":\"%s\",\"date\":\"%s\",\"go_version\":\"%s\",\"short\":%s,\"schemes\":[%s],", git_sha, iso_date, go_version, short, schemes
+    printf "\"adaptive\":{\"policy\":\"%s\",\"interval\":%s,\"seed\":%s}},\n", apolicy, ainterval, aseed
     print "\"benchmarks\":["
 }
 /^Benchmark/ {

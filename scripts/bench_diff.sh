@@ -43,6 +43,10 @@ print(meta_line(new_path, new))
 og, ng = old.get("meta", {}).get("go_version"), new.get("meta", {}).get("go_version")
 if og and ng and og != ng:
     print(f"  WARNING: different Go versions ({og} vs {ng}) — deltas include toolchain drift")
+oa, na = old.get("meta", {}).get("adaptive"), new.get("meta", {}).get("adaptive")
+if oa and na and oa != na:
+    print(f"  WARNING: different adaptive controller configs ({oa} vs {na}) — "
+          "Fig12 deltas reflect the policy change, not just the code")
 print()
 
 by_name_old = {b["name"]: b for b in old.get("benchmarks", [])}
