@@ -22,12 +22,14 @@ import (
 	"eventpf/internal/sim"
 	"eventpf/internal/system"
 	"eventpf/internal/trace"
+	"eventpf/internal/tracein"
 	"eventpf/internal/workloads"
 )
 
 func main() {
 	var (
-		benchName = flag.String("bench", "HJ-2", "benchmark name (see -list)")
+		benchName = flag.String("bench", "HJ-2", "benchmark name (see -list or -list-benches)")
+		traceIn   = flag.String("trace-in", "", "replay a captured trace file (ppftracegen output or a ChampSim trace) instead of -bench")
 		schemeStr = flag.String("scheme", "manual", "one of: "+strings.Join(harness.SchemeNames(), " "))
 		scale     = flag.Float64("scale", 0.25, "input scale relative to the default reduced input")
 		ppus      = flag.Int("ppus", 0, "override PPU count (0 = default 12)")
@@ -55,6 +57,7 @@ func main() {
 		ckptOps   = flag.Int64("checkpoint-ops", 0, "with -checkpoint-out, how many retired micro-ops to simulate before checkpointing")
 		ckptIn    = flag.String("checkpoint-in", "", "resume the run described by this checkpoint file and complete it")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
+		listBench = flag.Bool("list-benches", false, "print every resolvable benchmark name (Table 2 rows and extras), one per line, and exit")
 		listSch   = flag.Bool("list-schemes", false, "print the registered scheme names, one per line, and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
@@ -63,6 +66,18 @@ func main() {
 
 	if *list {
 		fmt.Print(harness.Table2())
+		return
+	}
+	if *listBench {
+		// Column 1 is the parseable name; scripts should select on it ($1),
+		// not the whole line. Mirrors -list-schemes.
+		for _, b := range workloads.Menu() {
+			origin := "table2"
+			if workloads.IsExtra(b) {
+				origin = "extra"
+			}
+			fmt.Printf("%-10s %-7s %-40s %s\n", b.Name, origin, b.Pattern, b.Input)
+		}
 		return
 	}
 	if *listSch {
@@ -129,10 +144,16 @@ func main() {
 		return
 	}
 
-	b, err := workloads.ByName(*benchName)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
-		os.Exit(2)
+	var b *workloads.Benchmark
+	if *traceIn != "" {
+		b = tracein.Bench(*traceIn)
+	} else {
+		var err error
+		b, err = workloads.ByName(*benchName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppfsim: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	scheme, ok := harness.ParseScheme(*schemeStr)
 	if !ok {
@@ -232,6 +253,7 @@ func main() {
 	}
 
 	var res, base harness.Result
+	var err error
 	runBaseline := *baseline && scheme != harness.NoPF
 	switch {
 	case runBaseline:

@@ -210,7 +210,7 @@ func (c *Coordinator) handleWorkers(w http.ResponseWriter, _ *http.Request) {
 
 func (c *Coordinator) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{
-		"benchmarks": workloads.Names(),
+		"benchmarks": workloads.MenuNames(),
 		"schemes":    harness.SchemeNames(),
 	})
 }

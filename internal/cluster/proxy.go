@@ -50,7 +50,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error:           err.Error(),
-			ValidBenchmarks: workloads.Names(),
+			ValidBenchmarks: workloads.MenuNames(),
 			ValidSchemes:    harness.SchemeNames(),
 		})
 		return

@@ -143,6 +143,35 @@ type Core struct {
 	// two events, not one per tick, and a nil bus costs one branch.
 	Bus         *trace.Bus
 	stallActive [4]bool
+
+	// OpBus, if set, receives one CoreDispatch event per dispatched micro-op
+	// — the trace-capture feed (internal/tracein). It is separate from Bus so
+	// that attaching an ordinary tracer never pays for, or sees, the per-op
+	// stream; with no capture attached the cost is one branch per dispatch.
+	OpBus *trace.Bus
+}
+
+// depDistMax caps a recorded dependence distance at what fits a uint32 half
+// of Event.Dur. Any distance beyond the window (see depCompletion) resolves
+// as "already retired", so clamping far-back producers is timing-neutral.
+const depDistMax = 1<<31 - 1
+
+// packDeps encodes a dispatched op's two dependence distances (id minus
+// producer id, 0 for NoDep) into one word, low half Deps[0], high half
+// Deps[1].
+func packDeps(id int64, deps [2]int64) uint64 {
+	var packed uint64
+	for i, d := range deps {
+		if d == NoDep {
+			continue
+		}
+		rel := id - d
+		if rel > depDistMax {
+			rel = depDistMax
+		}
+		packed |= uint64(rel) << (32 * i)
+	}
+	return packed
 }
 
 // setStall emits a CoreStall/CoreStallEnd pair boundary when the given
@@ -435,6 +464,17 @@ func (c *Core) dispatch(now sim.Ticks) {
 		}
 		id := c.nextID
 		c.nextID++
+		if c.OpBus != nil {
+			var flags int32
+			if op.Taken {
+				flags = 1
+			}
+			c.OpBus.Emit(trace.Event{
+				At: now, Kind: trace.CoreDispatch, Addr: op.Addr, ID: id,
+				A: int32(op.Kind), B: int32(op.PC), C: flags,
+				Dur: sim.Ticks(packDeps(id, op.Deps)),
+			})
+		}
 		slot := id % completionRing
 		c.known[slot] = false
 		c.ringAddr[slot] = op.Addr

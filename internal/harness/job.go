@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 
+	"eventpf/internal/tracein"
 	"eventpf/internal/workloads"
 )
 
@@ -18,6 +19,12 @@ type JobSpec struct {
 	// Bench is a Table 2 benchmark name; matching ignores case and
 	// punctuation (workloads.ByName).
 	Bench string `json:"bench"`
+	// Trace, if set, is a path to a captured trace file (internal/tracein)
+	// replayed in place of a named benchmark; Bench must then be empty. The
+	// path is resolved on the machine that simulates, and it becomes part of
+	// the content key — note the key does not cover the file's bytes, so a
+	// cache shared across machines must only see stable trace paths.
+	Trace string `json:"trace,omitempty"`
 	// Scheme is a Figure 7 scheme name ("no-pf", "stride", … "manual").
 	Scheme string `json:"scheme"`
 	// Scale multiplies the benchmark's default reduced input; 0 means 1.0
@@ -46,9 +53,18 @@ type Job struct {
 // schemes a PPU cannot affect — so the content hash never distinguishes
 // requests the simulator cannot.
 func (j JobSpec) Resolve() (Job, error) {
-	b, err := workloads.ByName(j.Bench)
-	if err != nil {
-		return Job{}, err
+	var b *workloads.Benchmark
+	switch {
+	case j.Trace != "" && j.Bench != "":
+		return Job{}, fmt.Errorf("harness: job names both bench %q and trace %q; pick one", j.Bench, j.Trace)
+	case j.Trace != "":
+		b = tracein.Bench(j.Trace)
+	default:
+		var err error
+		b, err = workloads.ByName(j.Bench)
+		if err != nil {
+			return Job{}, err
+		}
 	}
 	scheme, ok := ParseScheme(j.Scheme)
 	if !ok {

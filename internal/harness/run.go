@@ -9,6 +9,7 @@ import (
 	"eventpf/internal/compiler"
 	"eventpf/internal/cpu"
 	"eventpf/internal/ir"
+	"eventpf/internal/mem"
 	"eventpf/internal/prefetch"
 	"eventpf/internal/sim"
 	"eventpf/internal/system"
@@ -43,6 +44,13 @@ type Options struct {
 	// Metrics, if non-nil, receives the machine's counters and
 	// queue-occupancy histograms. Same confinement rule as TraceSink.
 	Metrics *trace.Registry
+	// OpSink, if non-nil, is attached to the core's dedicated micro-op trace
+	// bus and receives one trace.CoreDispatch event per dispatched op — the
+	// capture feed for tracein.Writer. If the sink also implements
+	// CaptureSink, BeginCapture runs with the machine's memory regions after
+	// the benchmark's data is built and before the first op. Same confinement
+	// rule as TraceSink.
+	OpSink trace.Sink
 	// Parallel bounds how many simulations a Suite runs concurrently;
 	// 0 means GOMAXPROCS. Run itself is always a single simulation on the
 	// calling goroutine — each Machine stays confined to one goroutine.
@@ -52,6 +60,15 @@ type Options struct {
 	// rest executes functionally with cache/TLB/predictor warming. The
 	// result's Sampled field reports the whole-program cycle estimate.
 	Sample *system.SampleConfig
+}
+
+// CaptureSink is an optional extension of trace.Sink for op-trace capture:
+// a sink that also wants the machine's memory-region table (to reproduce the
+// page map on replay) receives it once per run, after the benchmark builds
+// its data and before any op is dispatched. tracein.Writer implements it.
+type CaptureSink interface {
+	trace.Sink
+	BeginCapture(regions []mem.Region)
 }
 
 // Result is one benchmark × scheme measurement.
@@ -125,6 +142,31 @@ func prepare(b *workloads.Benchmark, scheme Scheme, opt Options) (*runSetup, err
 	if opt.Metrics != nil {
 		m.AttachMetrics(opt.Metrics)
 	}
+	if opt.OpSink != nil {
+		if cs, ok := opt.OpSink.(CaptureSink); ok {
+			cs.BeginCapture(m.Arena.Regions())
+		}
+		m.AttachOpTrace(trace.NewBus(opt.OpSink))
+	}
+
+	if inst.StreamFn != nil {
+		// A stream-fed instance (trace replay) has no IR: there is nothing
+		// for the compiler passes to transform and no address expressions for
+		// software prefetching, so only plain-variant, pass-less schemes
+		// apply. Manual applicability is decided below, like everywhere else.
+		if info.Variant != workloads.Plain || info.Pass != nil {
+			return nil, ErrUnsupported
+		}
+		if err := applyManual(m, info, inst); err != nil {
+			return nil, err
+		}
+		st, err := inst.StreamFn()
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+		}
+		rs.stream = &seq{all: []cpu.Stream{st}}
+		return rs, nil
+	}
 
 	fn := inst.BuildFn(info.Variant)
 	if fn == nil {
@@ -146,8 +188,8 @@ func prepare(b *workloads.Benchmark, scheme Scheme, opt Options) (*runSetup, err
 		}
 		rs.pass = pass
 	}
-	if info.Manual {
-		inst.Manual(m)
+	if err := applyManual(m, info, inst); err != nil {
+		return nil, err
 	}
 
 	var streams []cpu.Stream
@@ -163,16 +205,42 @@ func prepare(b *workloads.Benchmark, scheme Scheme, opt Options) (*runSetup, err
 	return rs, nil
 }
 
+// applyManual installs a benchmark's hand-written PPU kernels for a Manual
+// scheme. A benchmark with no hand-written kernels (BTree's descent exceeds a
+// single fill-triggered event; replayed traces carry no kernels at all) is
+// unsupported on a machine whose only prefetcher is the programmable one —
+// but still runs on schemes like adaptive that merely include it as an arm,
+// which then simply never switch to an unconfigured programmable prefetcher.
+func applyManual(m *system.Machine, info SchemeInfo, inst *workloads.Instance) error {
+	if !info.Manual {
+		return nil
+	}
+	if inst.Manual == nil {
+		if spec, ok := info.Machine.Spec(); ok && spec.Programmable && spec.NewUnit == nil {
+			return ErrUnsupported
+		}
+		return nil
+	}
+	inst.Manual(m)
+	return nil
+}
+
 // collect validates the oracle against the machine that ran and assembles
 // the harness Result.
 func (rs *runSetup) collect(sys system.Result) (Result, error) {
 	res := Result{Benchmark: rs.b.Name, Scheme: rs.scheme, Result: sys,
 		Pass: rs.pass, Trace: rs.tracer}
-	last := rs.stream.lastInterp()
-	if last == nil {
-		return res, fmt.Errorf("harness: %s: run finished without a final interpreter", rs.b.Name)
+	var ret uint64
+	var hasRet bool
+	if rs.inst.StreamFn == nil {
+		// Stream-fed instances (trace replay) have no interpreter and no
+		// return value; their oracle is the decode state, checked below.
+		last := rs.stream.lastInterp()
+		if last == nil {
+			return res, fmt.Errorf("harness: %s: run finished without a final interpreter", rs.b.Name)
+		}
+		ret, hasRet = last.Result()
 	}
-	ret, hasRet := last.Result()
 	if err := rs.inst.Check(rs.m, ret, hasRet); err != nil {
 		return res, fmt.Errorf("%s under %s: oracle mismatch: %w", rs.b.Name, rs.scheme, err)
 	}

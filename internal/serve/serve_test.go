@@ -159,6 +159,10 @@ func TestValidationErrorsListMenus(t *testing.T) {
 		want string
 	}{
 		{harness.JobSpec{Bench: "nope", Scheme: "manual"}, "hj2"},
+		// Extra benches must appear in the menu too: the duplicated All/Extra
+		// lookup loops once dropped them from the 400 response's list.
+		{harness.JobSpec{Bench: "nope", Scheme: "manual"}, "phasemix"},
+		{harness.JobSpec{Bench: "nope", Scheme: "manual"}, "spmv"},
 		{harness.JobSpec{Bench: "HJ-2", Scheme: "nope"}, "manual-blocked"},
 		{harness.JobSpec{Bench: "HJ-2", Scheme: "manual", Scale: 99}, "exceeds"},
 	} {
@@ -178,8 +182,8 @@ func TestValidationErrorsListMenus(t *testing.T) {
 		}
 	}
 	m := scrapeMetrics(t, hs.URL)
-	if m["ppfserve_jobs_rejected_validation"] != 3 {
-		t.Errorf("rejected_validation = %d, want 3", m["ppfserve_jobs_rejected_validation"])
+	if m["ppfserve_jobs_rejected_validation"] != 5 {
+		t.Errorf("rejected_validation = %d, want 5", m["ppfserve_jobs_rejected_validation"])
 	}
 }
 

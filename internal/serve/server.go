@@ -211,7 +211,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.m.rejectedValidation.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error:           err.Error(),
-			ValidBenchmarks: workloads.Names(),
+			ValidBenchmarks: workloads.MenuNames(),
 			ValidSchemes:    harness.SchemeNames(),
 		})
 		return
@@ -410,7 +410,7 @@ func (s *Server) CachePut(key string, b []byte) {
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{
-		"benchmarks": workloads.Names(),
+		"benchmarks": workloads.MenuNames(),
 		"schemes":    harness.SchemeNames(),
 	})
 }

@@ -287,6 +287,13 @@ func (m *Machine) AttachTrace(bus *trace.Bus) {
 	}
 }
 
+// AttachOpTrace points the core's per-op dispatch feed at bus: one
+// trace.CoreDispatch event per dispatched micro-op. This is the capture path
+// of the trace front end (internal/tracein); it is deliberately separate
+// from AttachTrace so component tracing and op capture compose freely.
+// Call before Run.
+func (m *Machine) AttachOpTrace(bus *trace.Bus) { m.Core.OpBus = bus }
+
 // AttachMetrics registers the machine's queue-occupancy histograms
 // (observation, request and walk queues) with reg. Call before Run.
 func (m *Machine) AttachMetrics(reg *trace.Registry) {

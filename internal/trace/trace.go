@@ -50,6 +50,14 @@ const (
 
 	AdaptiveSwitch // adaptive controller changed the active arm; A=from arm, B=to arm, C=reason (Switch*)
 	AdaptivePhase  // adaptive phase detector fired; A=fast miss-rate EWMA (per-mille), B=slow
+
+	// CoreDispatch is one micro-op entering the core's window, the feed the
+	// trace-capture sink (internal/tracein) records: ID=dynamic op id,
+	// A=cpu.OpKind, B=PC, C bit0=branch taken, Dur=the two dependence
+	// distances (id minus producer id, 0 = none) packed as uint32 halves.
+	// It is emitted on the core's dedicated OpBus, never the machine bus,
+	// so ordinary -trace-out exports are not flooded with per-op events.
+	CoreDispatch
 )
 
 // AdaptiveSwitch reasons (Event.C).
@@ -90,6 +98,7 @@ var kindNames = [...]string{
 	DRAMAccess: "dram", TLBWalk: "tlb-walk",
 	CoreStall: "core-stall", CoreStallEnd: "core-stall-end",
 	AdaptiveSwitch: "adapt-switch", AdaptivePhase: "adapt-phase",
+	CoreDispatch: "dispatch",
 }
 
 func (k Kind) String() string {

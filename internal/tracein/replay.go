@@ -1,0 +1,135 @@
+package tracein
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"eventpf/internal/cpu"
+	"eventpf/internal/mem"
+	"eventpf/internal/system"
+	"eventpf/internal/workloads"
+)
+
+// Replayer adapts a Decoder to cpu.Stream: each decoded record becomes one
+// micro-op with freshly assigned sequential ids (matching the core's
+// dispatch numbering, which is stream order). Decode errors cannot surface
+// through Next — the stream just ends — so they are latched and reported by
+// Err, which the replay instance's oracle check consults after the run.
+type Replayer struct {
+	dec     Decoder
+	backing *mem.Backing
+	closer  io.Closer
+	nextID  int64
+	err     error
+}
+
+// NewReplayer builds a replay stream over dec feeding a machine's backing
+// store. Every page of every header region is mapped up front, reproducing
+// the capture machine's page map exactly (a replayed prefetch must survive
+// or fault in translation just as it did live); pages demanded outside the
+// regions — ChampSim traces carry no region table — are mapped lazily.
+// closer, if non-nil, is closed when the stream is exhausted.
+func NewReplayer(dec Decoder, backing *mem.Backing, closer io.Closer) *Replayer {
+	for _, r := range dec.Meta().Regions {
+		size := r.Size
+		if size == 0 {
+			size = 8
+		}
+		pages := (size + mem.PageSize - 1) / mem.PageSize
+		for i := uint64(0); i < pages; i++ {
+			backing.MapPage(r.Base + i*mem.PageSize)
+		}
+	}
+	return &Replayer{dec: dec, backing: backing, closer: closer}
+}
+
+// Next implements cpu.Stream.
+func (r *Replayer) Next() (cpu.MicroOp, bool) {
+	if r.err != nil || r.dec == nil {
+		return cpu.MicroOp{}, false
+	}
+	rec, err := r.dec.Next()
+	if err != nil {
+		if err != io.EOF {
+			r.err = err
+		}
+		r.close()
+		return cpu.MicroOp{}, false
+	}
+	id := r.nextID
+	r.nextID++
+	op := cpu.MicroOp{Kind: rec.Kind, PC: rec.PC, Addr: rec.Addr, Taken: rec.Taken}
+	for i, rel := range rec.Rel {
+		op.Deps[i] = cpu.NoDep
+		if rel != 0 {
+			// A distance reaching past the start of the trace still resolves:
+			// the core treats producers older than the window as retired.
+			op.Deps[i] = id - int64(rel)
+		}
+	}
+	if op.Kind == cpu.OpLoad {
+		// A demand load to an unmapped page panics in the machine glue;
+		// traces without a region table fault pages in as they appear.
+		r.backing.MapPage(op.Addr)
+	}
+	return op, true
+}
+
+func (r *Replayer) close() {
+	r.dec = nil
+	if r.closer != nil {
+		if cerr := r.closer.Close(); cerr != nil && r.err == nil {
+			r.err = cerr
+		}
+		r.closer = nil
+	}
+}
+
+// Err returns the first decode error hit during replay (nil after a clean
+// end of trace, including trailer validation for native traces).
+func (r *Replayer) Err() error { return r.err }
+
+// Ops returns how many ops have been replayed so far.
+func (r *Replayer) Ops() int64 { return r.nextID }
+
+// Bench wraps a trace file as a workloads.Benchmark, the shape every
+// front end (harness.Run, Suite pairs, JobSpec, ppfsim) already consumes, so
+// replay needs zero registry changes. The name embeds the path — distinct
+// traces stay distinct in memo and content-hash keys.
+func Bench(path string) *workloads.Benchmark {
+	return &workloads.Benchmark{
+		Name:    "trace:" + path,
+		Source:  "trace replay",
+		Pattern: "Captured demand stream",
+		Input:   path,
+		Build: func(m *system.Machine, _ float64) *workloads.Instance {
+			var rep *Replayer
+			return &workloads.Instance{
+				StreamFn: func() (cpu.Stream, error) {
+					f, err := os.Open(path)
+					if err != nil {
+						return nil, fmt.Errorf("tracein: %w", err)
+					}
+					dec, err := Open(f)
+					if err != nil {
+						f.Close()
+						return nil, fmt.Errorf("tracein: %s: %w", path, err)
+					}
+					rep = NewReplayer(dec, m.Backing, f)
+					return rep, nil
+				},
+				// The oracle of a replayed trace is the trace itself: the run
+				// only counts if every record decoded cleanly through the
+				// trailer. A mid-stream decode failure otherwise just looks
+				// like a short program.
+				Check: func(*system.Machine, uint64, bool) error {
+					if rep == nil {
+						return fmt.Errorf("tracein: %s: replay stream was never built", path)
+					}
+					return rep.Err()
+				},
+			}
+		},
+	}
+}

@@ -1,0 +1,168 @@
+package tracein
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"eventpf/internal/cpu"
+	"eventpf/internal/mem"
+	"eventpf/internal/trace"
+)
+
+// Writer is the capture sink: attach it to a machine's op-trace bus
+// (harness.Options.OpSink) and it streams every dispatched micro-op to w in
+// the native format. The header is written lazily before the first record so
+// BeginCapture can still amend the metadata after construction; Close writes
+// the trailer. Writer is not safe for concurrent use — like every trace
+// sink it runs on the simulation goroutine.
+type Writer struct {
+	bw       *bufio.Writer
+	meta     Meta
+	header   bool
+	err      error
+	count    uint64
+	kinds    [8]uint64
+	prevPC   int64
+	prevAddr uint64
+	scratch  [3 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter builds a capture sink over w with the given metadata. The caller
+// keeps ownership of w (and of any gzip layer around it); Close flushes the
+// Writer's buffer but does not close w.
+func NewWriter(w io.Writer, meta Meta) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), meta: meta}
+}
+
+// BeginCapture implements the harness capture hook: it records the machine's
+// arena regions in the header so replay can reproduce the page map. It must
+// be called before the first op is captured.
+func (t *Writer) BeginCapture(regions []mem.Region) {
+	if t.header {
+		t.fail(fmt.Errorf("tracein: BeginCapture after the first record"))
+		return
+	}
+	t.meta.Regions = t.meta.Regions[:0]
+	for _, r := range regions {
+		t.meta.Regions = append(t.meta.Regions, RegionMeta{Name: r.Name, Base: r.Base, Size: r.Size})
+	}
+}
+
+// Event implements trace.Sink, encoding CoreDispatch events and ignoring
+// every other kind (so the writer could share a bus with other emitters).
+func (t *Writer) Event(e trace.Event) {
+	if e.Kind != trace.CoreDispatch || t.err != nil {
+		return
+	}
+	if !t.header {
+		t.writeHeader()
+		if t.err != nil {
+			return
+		}
+	}
+	kind := int(e.A) & tagKindMask
+	tag := byte(kind)
+	if e.C&1 != 0 {
+		tag |= tagTaken
+	}
+	hasAddr := kindHasAddr(cpu.OpKind(kind))
+	if hasAddr {
+		tag |= tagHasAddr
+	}
+	rel1 := uint64(e.Dur) & 0xFFFFFFFF
+	rel2 := uint64(e.Dur) >> 32
+	if rel1 != 0 {
+		tag |= tagHasDep1
+	}
+	if rel2 != 0 {
+		tag |= tagHasDep2
+	}
+	buf := t.scratch[:0]
+	buf = append(buf, tag)
+	pc := int64(e.B)
+	buf = binary.AppendVarint(buf, pc-t.prevPC)
+	t.prevPC = pc
+	if hasAddr {
+		buf = binary.AppendVarint(buf, int64(e.Addr-t.prevAddr))
+		t.prevAddr = e.Addr
+	}
+	if rel1 != 0 {
+		buf = binary.AppendUvarint(buf, rel1)
+	}
+	if rel2 != 0 {
+		buf = binary.AppendUvarint(buf, rel2)
+	}
+	if _, err := t.bw.Write(buf); err != nil {
+		t.fail(err)
+		return
+	}
+	t.count++
+	t.kinds[kind]++
+}
+
+// kindHasAddr reports whether records of this kind carry an address field.
+func kindHasAddr(k cpu.OpKind) bool {
+	return k == cpu.OpLoad || k == cpu.OpStore || k == cpu.OpSWPf
+}
+
+func (t *Writer) writeHeader() {
+	metaJSON, err := json.Marshal(t.meta)
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	var head [10]byte
+	copy(head[:4], magic)
+	head[4] = FormatVersion
+	head[5] = 0 // flags
+	binary.LittleEndian.PutUint32(head[6:], uint32(len(metaJSON)))
+	if _, err := t.bw.Write(head[:]); err == nil {
+		_, err = t.bw.Write(metaJSON)
+		if err != nil {
+			t.fail(err)
+			return
+		}
+	} else {
+		t.fail(err)
+		return
+	}
+	t.header = true
+}
+
+func (t *Writer) fail(err error) {
+	if t.err == nil {
+		t.err = err
+	}
+}
+
+// Count returns the number of ops captured so far.
+func (t *Writer) Count() uint64 { return t.count }
+
+// KindCount returns how many ops of the given kind were captured.
+func (t *Writer) KindCount(k cpu.OpKind) uint64 { return t.kinds[int(k)&7] }
+
+// Close writes the trailer and flushes. It reports the first error hit
+// anywhere during capture, so a full-disk failure mid-run is not silent.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	if !t.header {
+		t.writeHeader() // an empty trace is still a valid trace
+	}
+	if t.err == nil {
+		buf := t.scratch[:0]
+		buf = append(buf, trailerTag)
+		buf = binary.AppendUvarint(buf, t.count)
+		if _, err := t.bw.Write(buf); err != nil {
+			t.fail(err)
+		}
+	}
+	if t.err == nil {
+		t.fail(t.bw.Flush())
+	}
+	return t.err
+}

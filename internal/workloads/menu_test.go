@@ -1,0 +1,95 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"eventpf/internal/ir"
+)
+
+// TestMenuCoversAllAndExtra pins the merged-lookup contract: Menu/MenuNames
+// list every Table 2 row followed by every Extra bench, while Names stays
+// Table 2 only (figure sweeps must never pick extras up).
+func TestMenuCoversAllAndExtra(t *testing.T) {
+	names := MenuNames()
+	if len(names) != len(All)+len(Extra) {
+		t.Fatalf("MenuNames has %d entries, want %d", len(names), len(All)+len(Extra))
+	}
+	for i, b := range append(append([]*Benchmark{}, All...), Extra...) {
+		if names[i] != b.Name {
+			t.Errorf("MenuNames[%d] = %q, want %q", i, names[i], b.Name)
+		}
+	}
+	if got := len(Names()); got != len(All) {
+		t.Errorf("Names has %d entries, want Table 2's %d", got, len(All))
+	}
+	for _, b := range Extra {
+		if !IsExtra(b) {
+			t.Errorf("IsExtra(%s) = false", b.Name)
+		}
+	}
+	if IsExtra(RandAcc) {
+		t.Error("IsExtra(RandAcc) = true")
+	}
+}
+
+// TestByNameResolvesExtras is the regression for the duplicated-loop bug:
+// ByName must resolve Extra benches and its unknown-name error must list
+// them, so CLI and server menus show the whole menu (PhaseMix was missing
+// from the 400 response's list when All and Extra were looked up by two
+// hand-copied loops).
+func TestByNameResolvesExtras(t *testing.T) {
+	for _, b := range Extra {
+		got, err := ByName(b.Name)
+		if err != nil || got != b {
+			t.Errorf("ByName(%s) = %v, %v", b.Name, got, err)
+		}
+	}
+	if b, err := ByName("phase_mix"); err != nil || b != PhaseMix {
+		t.Errorf("ByName(phase_mix) = %v, %v", b, err)
+	}
+	_, err := ByName("nope")
+	if err == nil {
+		t.Fatal("ByName(nope) succeeded")
+	}
+	for _, b := range Extra {
+		if !strings.Contains(err.Error(), fold(b.Name)) {
+			t.Errorf("ByName error %q does not mention extra bench %q", err, fold(b.Name))
+		}
+	}
+}
+
+// TestExtraPlainRunsMatchOracle executes each Extra bench's plain kernel
+// functionally and validates it against its oracle, like
+// TestPlainRunMatchesOracle does for Table 2.
+func TestExtraPlainRunsMatchOracle(t *testing.T) {
+	for _, b := range Extra {
+		m, inst := buildAll(t, b)
+		fn := inst.BuildFn(Plain)
+		if fn == nil {
+			t.Errorf("%s: no plain variant", b.Name)
+			continue
+		}
+		if err := fn.Verify(); err != nil {
+			t.Errorf("%s: invalid IR: %v", b.Name, err)
+			continue
+		}
+		var last *ir.Interp
+		for _, run := range inst.Runs {
+			if run.Before != nil {
+				run.Before(m)
+			}
+			it := m.NewInterp(fn, run.Args...)
+			last = it
+			for {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+			}
+		}
+		ret, hasRet := last.Result()
+		if err := inst.Check(m, ret, hasRet); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}

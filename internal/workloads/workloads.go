@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"eventpf/internal/cpu"
 	"eventpf/internal/ir"
 	"eventpf/internal/system"
 )
@@ -66,6 +67,12 @@ type Instance struct {
 	// Check validates the whole instance: ret is the last invocation's
 	// return value. It may also inspect the backing store for outputs.
 	Check func(m *system.Machine, ret uint64, hasRet bool) error
+	// StreamFn, if set, supplies the micro-op stream directly instead of
+	// through an IR kernel: the instance has no BuildFn and no Runs, and the
+	// harness feeds the stream straight to the core. This is the shape trace
+	// replay (internal/tracein) uses; Check still runs afterwards, with no
+	// return value.
+	StreamFn func() (cpu.Stream, error)
 }
 
 // Benchmark is one Table 2 row.
@@ -94,10 +101,38 @@ var All = []*Benchmark{
 
 // Extra lists benchmarks that are not Table 2 rows: ByName resolves them
 // (so CLIs and experiments can ask for them explicitly) but figure sweeps
-// over All never pick them up. Currently the adaptive-controller study's
-// synthetic phase-alternation workload.
+// over All never pick them up. The adaptive-controller study's synthetic
+// phase-alternation workload, plus the ROADMAP's three synthetic irregular
+// workloads that double as trace-corpus seeds.
 var Extra = []*Benchmark{
 	PhaseMix,
+	SpMV,
+	BTree,
+	HotCold,
+}
+
+// menu is the single merged lookup slice (All then Extra, built once) that
+// ByName, Menu and MenuNames all consult, and byFold is its folded-name
+// index. Package-level init runs after the benchmark variables above are
+// initialised.
+var (
+	menu   []*Benchmark
+	byFold map[string]*Benchmark
+	extras map[*Benchmark]bool
+)
+
+func init() {
+	menu = make([]*Benchmark, 0, len(All)+len(Extra))
+	menu = append(menu, All...)
+	menu = append(menu, Extra...)
+	byFold = make(map[string]*Benchmark, len(menu))
+	extras = make(map[*Benchmark]bool, len(Extra))
+	for _, b := range menu {
+		byFold[fold(b.Name)] = b
+	}
+	for _, b := range Extra {
+		extras[b] = true
+	}
 }
 
 // fold normalises a benchmark name for matching: lower case, punctuation
@@ -117,27 +152,34 @@ func Names() []string {
 	return names
 }
 
-// ByName finds a benchmark by its Table 2 name. Matching ignores case and
-// punctuation. On an unknown name the error lists the valid names, so CLIs
-// and the job server can surface the whole menu instead of a bare failure.
+// Menu lists every resolvable benchmark: Table 2 rows in presentation
+// order, then the Extra set. The returned slice is shared; do not mutate.
+func Menu() []*Benchmark { return menu }
+
+// MenuNames lists every resolvable benchmark name (All then Extra) — the
+// menu servers and CLIs should present, where Names covers only Table 2.
+func MenuNames() []string {
+	names := make([]string, len(menu))
+	for i, b := range menu {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// IsExtra reports whether b is an Extra (non-Table 2) benchmark.
+func IsExtra(b *Benchmark) bool { return extras[b] }
+
+// ByName finds a benchmark by name — Table 2 rows and Extra alike.
+// Matching ignores case and punctuation. On an unknown name the error lists
+// every valid name, so CLIs and the job server can surface the whole menu
+// instead of a bare failure.
 func ByName(name string) (*Benchmark, error) {
-	want := fold(name)
-	for _, b := range All {
-		if fold(b.Name) == want {
-			return b, nil
-		}
+	if b, ok := byFold[fold(name)]; ok {
+		return b, nil
 	}
-	for _, b := range Extra {
-		if fold(b.Name) == want {
-			return b, nil
-		}
-	}
-	folded := make([]string, 0, len(All)+len(Extra))
-	for _, b := range All {
-		folded = append(folded, fold(b.Name))
-	}
-	for _, b := range Extra {
-		folded = append(folded, fold(b.Name))
+	folded := make([]string, len(menu))
+	for i, b := range menu {
+		folded[i] = fold(b.Name)
 	}
 	return nil, fmt.Errorf("workloads: unknown benchmark %q; valid names (case and punctuation ignored): %s",
 		name, strings.Join(folded, ", "))

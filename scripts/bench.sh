@@ -54,14 +54,18 @@ adaptive_line="$(go run ./cmd/ppfsim -show-adaptive)"
 adaptive_policy="$(printf '%s\n' "$adaptive_line" | tr ' ' '\n' | sed -n 's/^policy=//p')"
 adaptive_interval="$(printf '%s\n' "$adaptive_line" | tr ' ' '\n' | sed -n 's/^interval=//p')"
 adaptive_seed="$(printf '%s\n' "$adaptive_line" | tr ' ' '\n' | sed -n 's/^seed=//p')"
+# The native trace-format version the binary under test writes and reads:
+# BENCH files bracket which captured corpora the measured tree can consume.
+trace_format="$(go run ./cmd/ppftracegen -format-version)"
 
 # shellcheck disable=SC2086 # $shortflag is deliberately empty or "-short"
 go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem $shortflag . | tee "$raw"
 
 awk -v git_sha="$git_sha" -v iso_date="$iso_date" -v go_version="$go_version" -v short="$shortmeta" -v schemes="$schemes" \
-    -v apolicy="$adaptive_policy" -v ainterval="$adaptive_interval" -v aseed="$adaptive_seed" '
+    -v apolicy="$adaptive_policy" -v ainterval="$adaptive_interval" -v aseed="$adaptive_seed" -v trace_format="$trace_format" '
 BEGIN {
     printf "{\"meta\":{\"git_sha\":\"%s\",\"date\":\"%s\",\"go_version\":\"%s\",\"short\":%s,\"schemes\":[%s],", git_sha, iso_date, go_version, short, schemes
+    printf "\"trace_format\":%s,", trace_format
     printf "\"adaptive\":{\"policy\":\"%s\",\"interval\":%s,\"seed\":%s}},\n", apolicy, ainterval, aseed
     print "\"benchmarks\":["
 }
