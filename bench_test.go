@@ -10,6 +10,8 @@ package eventpf_test
 
 import (
 	"math"
+	"os"
+	"strconv"
 	"testing"
 
 	"eventpf"
@@ -30,7 +32,16 @@ func suite() *eventpf.Suite {
 	if testing.Short() {
 		scale = benchScaleShort
 	}
-	return eventpf.NewSuite(eventpf.Options{Scale: scale})
+	opt := eventpf.Options{Scale: scale}
+	// EVENTPF_SLICES above 1 runs every simulation time-parallel
+	// (scripts/bench.sh sets it from SLICES and stamps the value into the
+	// BENCH meta, since sliced timings are only comparable to sliced ones).
+	if s := os.Getenv("EVENTPF_SLICES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			opt.Slices = n
+		}
+	}
+	return eventpf.NewSuite(opt)
 }
 
 // BenchmarkTable1Config reports the Table 1 machine configuration (a

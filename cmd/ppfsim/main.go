@@ -36,6 +36,7 @@ func main() {
 		ppuMHz    = flag.Int("ppu-mhz", 0, "override PPU clock in MHz (0 = default 1000)")
 		baseline  = flag.Bool("baseline", false, "also run without prefetching and report the speedup")
 		parallel  = flag.Int("parallel", 0, "with -baseline, run both simulations concurrently (0 = GOMAXPROCS, 1 = serial)")
+		slices    = flag.Int("slices", 0, "time-parallel slices per run: >1 splits the run across cores via functional warming (approximate but deterministic), 0 keeps the exact serial engine")
 		traceN    = flag.Int("trace", 0, "dump the last N prefetcher trace events after the run")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the run to this file")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry (counters + queue-occupancy histograms) after the run")
@@ -162,7 +163,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := harness.Options{Scale: *scale, PPUs: *ppus, PPUMHz: *ppuMHz, TraceLast: *traceN, Parallel: *parallel}
+	opt := harness.Options{Scale: *scale, PPUs: *ppus, PPUMHz: *ppuMHz, TraceLast: *traceN,
+		Parallel: *parallel, Slices: *slices}
 	if *aInterval != 0 || *aEpsilon >= 0 || *aSeed != 0 || *aArms != "" || *aTrial > 0 || *aPfTrial > 0 || *aPhase > 0 || *aCool >= 0 {
 		cfg := system.DefaultConfig()
 		if *aInterval != 0 {
@@ -380,5 +382,12 @@ func printResult(r harness.Result) {
 	if s := r.Sampled; s != nil {
 		fmt.Printf("sampled        %12d of %d ops detailed (%d intervals)\nest. cycles    %12d\n",
 			s.DetailedOps, s.TotalOps, s.Intervals, s.EstimatedCycles)
+	}
+	if tp := r.TimeParallel; tp != nil {
+		var warm int64
+		for _, w := range tp.WarmOps {
+			warm += w
+		}
+		fmt.Printf("time-parallel  %12d slices (%d ops functionally warmed)\n", tp.Slices, warm)
 	}
 }

@@ -122,6 +122,16 @@ type Core struct {
 	ringPC     [completionRing]int32
 	inflightLd int
 	inflightSt int
+	// unissuedN counts window entries with issued == false. It lets the
+	// scheduler decide "can anything issue before the next load completion?"
+	// without scanning the window every cycle.
+	unissuedN int
+	// dirty is set whenever window state changes between ticks in a way a
+	// tick could act on — an op dispatched, or a completion recorded — and
+	// cleared at the start of every full tick. While clear (and dispatch is
+	// provably a no-op), a tick cannot retire, issue or dispatch anything,
+	// so it can skip straight to scheduling its successor (see idleTick).
+	dirty bool
 
 	tickH     tickHandler
 	launchH   launchHandler
@@ -220,6 +230,8 @@ func (c *Core) robPush(e robEntry) {
 	}
 	c.rob[p] = e
 	c.robN++
+	c.unissuedN++
+	c.dirty = true
 }
 
 func (c *Core) robPop() {
@@ -295,11 +307,21 @@ func (c *Core) recordCompletion(id int64, at sim.Ticks) {
 	slot := id % completionRing
 	c.completion[slot] = at
 	c.known[slot] = true
+	c.dirty = true
 }
 
 func (c *Core) tick() {
 	c.tickPending = false
 	now := c.eng.Now()
+
+	if c.idleTick(now) {
+		// Nothing to do this cycle: keep the tick chain alive (so event
+		// ordering — and therefore timing — is bit-identical to a full
+		// tick that finds no work) but skip the window scans.
+		c.scheduleTick(now + c.cfg.Clock.Period)
+		return
+	}
+	c.dirty = false
 
 	c.retire(now)
 	c.resolveAndIssue(now)
@@ -310,6 +332,30 @@ func (c *Core) tick() {
 		return
 	}
 	c.scheduleNext(now)
+}
+
+// idleTick reports whether this tick provably cannot change core state, so
+// tick() may skip retire/resolveAndIssue/dispatch and only reschedule. The
+// conditions mirror what each stage needs to make progress:
+//
+//   - retire: the head has no recorded completion (completions only arrive
+//     via recordCompletion, which sets dirty);
+//   - resolveAndIssue: the previous full tick issued everything resolvable,
+//     and nothing was dispatched or completed since (dirty is clear), so
+//     every unissued entry still waits on an unrecorded dependency;
+//   - dispatch: the stream is gone, the window is full, or dispatch is
+//     stalled behind a redirect.
+//
+// A tracer (Bus) disables the fast path so stall-transition events are
+// emitted on the exact cycle they occur.
+func (c *Core) idleTick(now sim.Ticks) bool {
+	if c.dirty || c.Bus != nil || c.robN == 0 || c.unissuedN == 0 {
+		return false
+	}
+	if c.robAt(0).completeAt >= 0 {
+		return false
+	}
+	return c.stream == nil || c.robN >= c.cfg.ROB || now < c.stallUntil || c.redirectPending
 }
 
 func (c *Core) streamDone() bool { return c.stream == nil && !c.hasPending }
@@ -342,11 +388,15 @@ func (c *Core) retire(now sim.Ticks) {
 }
 
 func (c *Core) resolveAndIssue(now sim.Ticks) {
-	for i := 0; i < c.robN; i++ {
+	// Stop once every entry that was unissued on entry has been examined;
+	// everything after the last of them is already issued.
+	target := c.unissuedN
+	for i, seen := 0, 0; i < c.robN && seen < target; i++ {
 		e := c.robAt(i)
 		if e.issued {
 			continue
 		}
+		seen++
 		if e.unresolved > 0 {
 			e.unresolved = 0
 			for _, d := range e.deps {
@@ -367,6 +417,7 @@ func (c *Core) resolveAndIssue(now sim.Ticks) {
 }
 
 func (c *Core) issue(e *robEntry, now sim.Ticks) {
+	c.unissuedN--
 	start := e.readyAt
 	if start < now {
 		start = now
@@ -412,10 +463,11 @@ func (c *Core) launchLoad(id int64) {
 
 func (c *Core) loadComplete(id int64, at sim.Ticks) {
 	c.recordCompletion(id, at)
-	for i := 0; i < c.robN; i++ {
-		if e := c.robAt(i); e.id == id {
-			e.completeAt = at
-			break
+	// Window ids are consecutive, so the op's slot is a direct offset from
+	// the head (out of range means it is no longer in the window).
+	if c.robN > 0 {
+		if i := id - c.robAt(0).id; i >= 0 && i < int64(c.robN) {
+			c.robAt(int(i)).completeAt = at
 		}
 	}
 	c.wake()
@@ -531,14 +583,16 @@ func (c *Core) scheduleNext(now sim.Ticks) {
 			c.scheduleTick(next)
 			return
 		}
-		// Head incomplete. If it is an unissued op or there are unissued
-		// ops that may become ready, tick next cycle; if everything issued
-		// and waiting on memory, sleep until a load callback wakes us.
-		for i := 0; i < c.robN; i++ {
-			if !c.robAt(i).issued {
-				c.scheduleTick(next)
-				return
-			}
+		// Head incomplete. If there are unissued ops that may become ready,
+		// tick next cycle; if everything issued and waiting on memory, sleep
+		// until a load callback wakes us. (Replacing the dense tick chain
+		// with a sleep here is NOT timing-neutral: a completion landing
+		// exactly on a clock edge behind an already-queued tick event takes
+		// effect a cycle later than a fresh wake would. The idleTick fast
+		// path in tick() makes the dense chain cheap instead.)
+		if c.unissuedN > 0 {
+			c.scheduleTick(next)
+			return
 		}
 		if c.stream != nil && c.robN < c.cfg.ROB && now >= c.stallUntil && !c.redirectPending {
 			c.scheduleTick(next)

@@ -32,6 +32,8 @@ func (c *Core) CopyStateFrom(src *Core, stream Stream, onDone func()) {
 	c.ringPC = src.ringPC
 	c.inflightLd = src.inflightLd
 	c.inflightSt = src.inflightSt
+	c.unissuedN = src.unissuedN
+	c.dirty = src.dirty
 	c.stallUntil = src.stallUntil
 	c.redirectPending = src.redirectPending
 	c.tickPending = src.tickPending
@@ -42,6 +44,12 @@ func (c *Core) CopyStateFrom(src *Core, stream Stream, onDone func()) {
 	copy(c.bp.table, src.bp.table)
 	c.Stats = src.Stats
 }
+
+// SwapStream replaces the core's micro-op stream. Only legal before the core
+// has pulled any op (between Run and the first tick): the replacement must
+// deliver the same ops from position zero, possibly filtered — time-parallel
+// slicing wraps the stream in its slice window this way.
+func (c *Core) SwapStream(s Stream) { c.stream = s }
 
 // StreamActive reports whether the core still holds a live micro-op stream
 // (false once the stream has been exhausted), so a fork knows whether it

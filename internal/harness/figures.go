@@ -68,6 +68,9 @@ type Pair struct {
 	PPUs   int
 	PPUMHz int
 	Scale  float64
+	// Slices overrides the suite's time-parallel slice count for this pair
+	// (0 = suite default, see Options.Slices).
+	Slices int
 }
 
 // Key folds the pair's overrides down to their effective values so that,
@@ -85,7 +88,18 @@ func (s *Suite) Key(p Pair) string {
 	if scale == 0 {
 		scale = 1.0
 	}
-	return fmt.Sprintf("%s/%s/p%d/f%d/s%g", p.Bench.Name, p.Scheme, ppus, mhz, scale)
+	key := fmt.Sprintf("%s/%s/p%d/f%d/s%g", p.Bench.Name, p.Scheme, ppus, mhz, scale)
+	slices := p.Slices
+	if slices == 0 {
+		slices = s.Opt.Slices
+	}
+	if slices > 1 {
+		// Sliced results are approximate, so they must never share an entry
+		// with exact serial ones; the suffix appears only when slicing so
+		// every pre-existing key is unchanged.
+		key += fmt.Sprintf("/k%d", slices)
+	}
+	return key
 }
 
 // foldSizing resolves requested PPU sizing against the option defaults:
@@ -219,6 +233,9 @@ func (s *Suite) runPairCtx(ctx context.Context, p Pair, inst *Instrument) (Resul
 	if p.Scale != 0 {
 		opt.Scale = p.Scale
 	}
+	if p.Slices != 0 {
+		opt.Slices = p.Slices
+	}
 	if inst != nil {
 		if inst.Sink != nil {
 			opt.TraceSink = inst.Sink
@@ -291,24 +308,8 @@ func (s *Suite) sweepForked(b *workloads.Benchmark, ppus int, clocks []int) erro
 		return err
 	}
 
-	base, err := s.run(b, NoPF) // sizes the warmup from the op count
-	if err != nil {
-		return abort(err)
-	}
-
-	warmOpt := s.Opt
-	if ppus != 0 {
-		warmOpt.PPUs = ppus
-	}
-	s.sem <- struct{}{} // the warmup is a simulation: hold a worker token
-	w, err := Warm(b, Manual, warmOpt, base.Core.Ops*2/3)
-	<-s.sem
-	if err != nil {
-		return abort(err)
-	}
-	if w.Done() {
-		// Program shorter than the warmup: no fork point. Release the
-		// claims and simulate each point in full.
+	// fullRuns simulates each claimed point independently, in full.
+	fullRuns := func() error {
 		for _, pt := range todo {
 			pt := pt
 			go func() {
@@ -327,6 +328,34 @@ func (s *Suite) sweepForked(b *workloads.Benchmark, ppus int, clocks []int) erro
 			}
 		}
 		return nil
+	}
+
+	if s.Opt.Slices > 1 {
+		// Under time-parallel execution a pair's result must not depend on
+		// which path — a sliced Run or an exact forked continuation — claims
+		// its memo entry first, so the shared serial warmup is skipped and
+		// every point runs in full (slicing internally).
+		return fullRuns()
+	}
+
+	base, err := s.run(b, NoPF) // sizes the warmup from the op count
+	if err != nil {
+		return abort(err)
+	}
+
+	warmOpt := s.Opt
+	if ppus != 0 {
+		warmOpt.PPUs = ppus
+	}
+	s.sem <- struct{}{} // the warmup is a simulation: hold a worker token
+	w, err := Warm(b, Manual, warmOpt, base.Core.Ops*2/3)
+	<-s.sem
+	if err != nil {
+		return abort(err)
+	}
+	if w.Done() {
+		// Program shorter than the warmup: no fork point.
+		return fullRuns()
 	}
 
 	// Fork sequentially (forking reads the paused parent), then complete

@@ -33,6 +33,10 @@ type JobSpec struct {
 	// PPUs and PPUMHz override the prefetcher sizing (0 = default).
 	PPUs   int `json:"ppus,omitempty"`
 	PPUMHz int `json:"ppu_mhz,omitempty"`
+	// Slices, if above 1, runs the simulation time-parallel across that
+	// many op-count slices (approximate but deterministic; see
+	// harness.Options.Slices). 0 or 1 is the exact serial engine.
+	Slices int `json:"slices,omitempty"`
 }
 
 // Job is a resolved, canonical JobSpec: the benchmark and scheme exist, and
@@ -44,6 +48,7 @@ type Job struct {
 	Scale  float64
 	PPUs   int
 	PPUMHz int
+	Slices int
 }
 
 // Resolve validates the spec and folds it to canonical form: benchmark and
@@ -80,21 +85,34 @@ func (j JobSpec) Resolve() (Job, error) {
 	if j.PPUs < 0 || j.PPUMHz < 0 {
 		return Job{}, fmt.Errorf("harness: PPU sizing %d×%dMHz must not be negative", j.PPUs, j.PPUMHz)
 	}
+	if j.Slices < 0 {
+		return Job{}, fmt.Errorf("harness: slices %d must not be negative", j.Slices)
+	}
+	slices := j.Slices
+	if slices == 1 {
+		slices = 0 // one slice is the serial engine: fold to the default spelling
+	}
 	ppus, mhz := foldSizing(scheme, j.PPUs, j.PPUMHz, Options{})
-	return Job{Bench: b, Scheme: scheme, Scale: scale, PPUs: ppus, PPUMHz: mhz}, nil
+	return Job{Bench: b, Scheme: scheme, Scale: scale, PPUs: ppus, PPUMHz: mhz, Slices: slices}, nil
 }
 
 // Pair converts the job to the Suite's memo request. The pair carries the
 // job's scale, so one suite serves jobs at any mix of scales.
 func (j Job) Pair() Pair {
-	return Pair{Bench: j.Bench, Scheme: j.Scheme, Scale: j.Scale, PPUs: j.PPUs, PPUMHz: j.PPUMHz}
+	return Pair{Bench: j.Bench, Scheme: j.Scheme, Scale: j.Scale, PPUs: j.PPUs, PPUMHz: j.PPUMHz, Slices: j.Slices}
 }
 
 // Canonical renders the resolved config in the fixed textual form the
-// content hash covers. The field order is part of the cache format.
+// content hash covers. The field order is part of the cache format; the
+// slices term appears only on sliced jobs, so every serial job's key is
+// unchanged from before time-parallel execution existed.
 func (j Job) Canonical() string {
-	return fmt.Sprintf("bench=%s;scheme=%s;scale=%g;ppus=%d;mhz=%d",
+	c := fmt.Sprintf("bench=%s;scheme=%s;scale=%g;ppus=%d;mhz=%d",
 		j.Bench.Name, j.Scheme, j.Scale, j.PPUs, j.PPUMHz)
+	if j.Slices > 1 {
+		c += fmt.Sprintf(";slices=%d", j.Slices)
+	}
+	return c
 }
 
 // Key is the job's content address: the hex SHA-256 of the canonical

@@ -199,3 +199,40 @@ func TestEncodeResultDeterministic(t *testing.T) {
 		t.Error("two runs of the same config encode differently")
 	}
 }
+
+// TestJobSpecSlices pins the slices term of the content key: absent on
+// serial jobs (so every pre-slicing key is unchanged), folded away for the
+// equivalent spelling slices=1, present only on genuinely sliced jobs, and
+// negative values rejected.
+func TestJobSpecSlices(t *testing.T) {
+	serial, err := JobSpec{Bench: "HJ-2", Scheme: "stride"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(serial.Canonical(), "slices") {
+		t.Errorf("serial canonical %q mentions slices", serial.Canonical())
+	}
+	one, err := JobSpec{Bench: "HJ-2", Scheme: "stride", Slices: 1}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Key() != serial.Key() {
+		t.Error("slices=1 keys differently from the serial default")
+	}
+	sliced, err := JobSpec{Bench: "HJ-2", Scheme: "stride", Slices: 4}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sliced.Canonical(), ";slices=4") {
+		t.Errorf("sliced canonical %q lacks the slices term", sliced.Canonical())
+	}
+	if sliced.Key() == serial.Key() {
+		t.Error("sliced job shares the serial job's key")
+	}
+	if sliced.Pair().Slices != 4 {
+		t.Errorf("Pair().Slices = %d, want 4", sliced.Pair().Slices)
+	}
+	if _, err := (JobSpec{Bench: "HJ-2", Scheme: "stride", Slices: -1}).Resolve(); err == nil {
+		t.Error("negative slices accepted")
+	}
+}

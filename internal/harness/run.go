@@ -60,6 +60,14 @@ type Options struct {
 	// rest executes functionally with cache/TLB/predictor warming. The
 	// result's Sampled field reports the whole-program cycle estimate.
 	Sample *system.SampleConfig
+	// Slices, if above 1, runs time-parallel: the dynamic op stream is cut
+	// into that many contiguous slices, each fast-forwarded functionally to
+	// its boundary on a forked machine and detail-simulated concurrently
+	// (system.RunTimeParallel). Approximate but deterministic; ignored when
+	// Sample is set, and silently serial when the stream cannot be forked
+	// or the program is too short to slice. 0 or 1 keeps the exact serial
+	// engine — results then stay byte-identical to earlier versions.
+	Slices int
 }
 
 // CaptureSink is an optional extension of trace.Sink for op-trace capture:
@@ -90,12 +98,76 @@ func Run(b *workloads.Benchmark, scheme Scheme, opt Options) (Result, error) {
 		return Result{}, err
 	}
 	var sys system.Result
-	if opt.Sample != nil {
+	switch {
+	case opt.Sample != nil:
 		sys = rs.m.RunSampled(rs.stream, *opt.Sample)
-	} else {
+	case opt.Slices > 1:
+		sys, err = rs.runSliced(b, scheme, opt)
+		if err != nil {
+			return Result{}, err
+		}
+	default:
 		sys = rs.m.Run(rs.stream)
 	}
 	return rs.collect(sys)
+}
+
+// runSliced executes the prepared run time-parallel. The slice boundaries
+// need the program's dynamic op count up front, which only a functional
+// execution can provide, so a throwaway counting machine drains a second
+// copy of the stream first (interpreters execute at Next time; the count
+// costs a functional pass, a small fraction of one detailed slice). After a
+// sliced run the setup's machine and stream are retargeted at the final
+// slice's — the pair that reached end of program and carries the state the
+// oracle check needs.
+func (rs *runSetup) runSliced(b *workloads.Benchmark, scheme Scheme, opt Options) (system.Result, error) {
+	total, err := countOps(b, scheme, opt)
+	if err != nil {
+		return system.Result{}, err
+	}
+	sys, fm, err := rs.m.RunTimeParallel(rs.stream, system.TimeParallelConfig{
+		Slices:   opt.Slices,
+		TotalOps: total,
+	})
+	if err != nil {
+		return system.Result{}, err
+	}
+	if fm != rs.m {
+		fs, ok := fm.Stream().(*seq)
+		if !ok {
+			return system.Result{}, fmt.Errorf("harness: %s: final slice stream is %T, not a run sequence", b.Name, fm.Stream())
+		}
+		rs.m = fm
+		rs.stream = fs
+	}
+	return sys, nil
+}
+
+// countOps measures the benchmark's dynamic op count by draining a second,
+// throwaway copy of the stream functionally — no events, no timing, its own
+// machine. Observers are stripped: the counting pass must not double-fire
+// capture hooks or emit trace events.
+func countOps(b *workloads.Benchmark, scheme Scheme, opt Options) (int64, error) {
+	opt.TraceLast = 0
+	opt.TraceSink = nil
+	opt.Metrics = nil
+	opt.OpSink = nil
+	opt.Slices = 0
+	rs, err := prepare(b, scheme, opt)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		if _, ok := rs.stream.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := rs.stream.streamErr(); err != nil {
+		return 0, fmt.Errorf("harness: %s: counting pass: %w", b.Name, err)
+	}
+	return n, nil
 }
 
 // runSetup is a prepared but not yet completed run: the assembled machine,
@@ -244,6 +316,14 @@ func (rs *runSetup) collect(sys system.Result) (Result, error) {
 	if err := rs.inst.Check(rs.m, ret, hasRet); err != nil {
 		return res, fmt.Errorf("%s under %s: oracle mismatch: %w", rs.b.Name, rs.scheme, err)
 	}
+	// A stream that tracks its own error state (a trace replayer) is
+	// consulted directly: under time-parallel slicing the instance's Check
+	// closure holds the original stream, which stopped at its slice
+	// boundary — the final slice's clone is the one that must have decoded
+	// cleanly to end of trace.
+	if err := rs.stream.streamErr(); err != nil {
+		return res, fmt.Errorf("%s under %s: stream error: %w", rs.b.Name, rs.scheme, err)
+	}
 	return res, nil
 }
 
@@ -361,6 +441,10 @@ func forkStream(st cpu.Stream, f *system.Machine) (cpu.Stream, error) {
 			return nil, err
 		}
 		return &hookStream{before: st.before, m: f, fired: st.fired, inner: inner}, nil
+	case system.StreamCloner:
+		// Leaf streams that open a second cursor over their source — a
+		// trace replayer re-opening its file.
+		return st.CloneStream(f)
 	}
 	return nil, fmt.Errorf("harness: stream %T does not support forking", st)
 }
@@ -377,6 +461,25 @@ func (s *seq) lastInterp() *ir.Interp {
 	case *hookStream:
 		if it, ok := st.inner.(*ir.Interp); ok {
 			return it
+		}
+	}
+	return nil
+}
+
+// errStream is a stream that latches its own error state (decode failures
+// cannot surface through Next); tracein.Replayer implements it.
+type errStream interface{ Err() error }
+
+// streamErr returns the first latched error of any member stream.
+func (s *seq) streamErr() error {
+	for _, st := range s.all {
+		if h, ok := st.(*hookStream); ok {
+			st = h.inner
+		}
+		if es, ok := st.(errStream); ok {
+			if err := es.Err(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,233 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eventpf/internal/system"
+	"eventpf/internal/tracein"
+	"eventpf/internal/workloads"
+)
+
+// timeParallelPairs are the golden pairs the sliced engine is held to: an
+// irregular manual-prefetch run (full event-triggered machinery), a
+// baseline-issuer run, and a multi-invocation benchmark with per-run hooks
+// (Graph500's parent reset), which exercises the hookStream re-fire path
+// inside every slice's functional prefix.
+var timeParallelPairs = []struct {
+	bench  string
+	scheme Scheme
+}{
+	{"HJ-2", Manual},
+	{"RandAcc", Stride},
+	{"G500-CSR", ManualBlocked},
+}
+
+// TestTimeParallelGoldenPairs pins the sliced engine's three contracts on
+// the golden pairs: determinism (two -slices 4 runs are byte-identical,
+// whatever the goroutine schedule — run under -race in CI), functional
+// exactness (every dynamic op is detail-simulated in exactly one slice, so
+// stitched op counts match the serial run and the oracle check passes), and
+// accuracy (stitched CPI within 2% of serial).
+func TestTimeParallelGoldenPairs(t *testing.T) {
+	for _, tp := range timeParallelPairs {
+		tp := tp
+		t.Run(tp.bench+"/"+tp.scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			b, err := workloads.ByName(tp.bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := Run(b, tp.scheme, Options{Scale: goldenScale})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := Options{Scale: goldenScale, Slices: 4}
+			first, err := Run(b, tp.scheme, opt)
+			if err != nil {
+				t.Fatalf("sliced run: %v", err)
+			}
+			second, err := Run(b, tp.scheme, opt)
+			if err != nil {
+				t.Fatalf("second sliced run: %v", err)
+			}
+			if !bytes.Equal(encode(t, first), encode(t, second)) {
+				t.Errorf("two sliced runs differ: %d vs %d cycles", first.Cycles, second.Cycles)
+			}
+
+			st := first.TimeParallel
+			if st == nil {
+				t.Fatal("sliced run did not report TimeParallel stats")
+			}
+			if st.Slices != 4 {
+				t.Errorf("effective slices = %d, want 4", st.Slices)
+			}
+			var detail int64
+			for _, d := range st.DetailOps {
+				detail += d
+			}
+			if detail != serial.Core.Ops || first.Core.Ops != serial.Core.Ops {
+				t.Errorf("sliced runs detailed %d ops (stitched Core.Ops %d), serial %d — slicing dropped or duplicated ops",
+					detail, first.Core.Ops, serial.Core.Ops)
+			}
+
+			relErr := float64(first.Cycles-serial.Cycles) / float64(serial.Cycles)
+			if relErr < 0 {
+				relErr = -relErr
+			}
+			t.Logf("serial %d cycles, sliced %d (%.2f%% error; warm %v, detail %v)",
+				serial.Cycles, first.Cycles, 100*relErr, st.WarmOps, st.DetailOps)
+			if relErr > 0.02 {
+				t.Errorf("sliced CPI off by %.2f%% (serial %d, sliced %d), want <= 2%%",
+					100*relErr, serial.Cycles, first.Cycles)
+			}
+		})
+	}
+}
+
+// TestTimeParallelSerialOptionByteStable pins the opt-out: Slices of 0 and 1
+// take the exact serial engine and their encodings carry no TimeParallel
+// block — byte-for-byte what the run produced before slicing existed (the
+// golden files assert the same against the committed history).
+func TestTimeParallelSerialOptionByteStable(t *testing.T) {
+	b, err := workloads.ByName("HJ-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(b, Manual, Options{Scale: goldenScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 1} {
+		res, err := Run(b, Manual, Options{Scale: goldenScale, Slices: k})
+		if err != nil {
+			t.Fatalf("Slices=%d: %v", k, err)
+		}
+		if !bytes.Equal(encode(t, plain), encode(t, res)) {
+			t.Errorf("Slices=%d result differs from plain serial run", k)
+		}
+	}
+}
+
+// TestTimeParallelShortProgramFallsBack asks for far more slices than
+// MinSliceOps permits; the clamp must force serial execution with a result
+// byte-identical to a plain run (and no TimeParallel block).
+func TestTimeParallelShortProgramFallsBack(t *testing.T) {
+	b, err := workloads.ByName("RandAcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(b, Stride, Options{Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(b, Stride, Options{Scale: 0.01, Slices: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeParallel != nil && res.TimeParallel.Slices >= 4096 {
+		t.Errorf("clamp did not bite: %d effective slices over %d ops",
+			res.TimeParallel.Slices, plain.Core.Ops)
+	}
+	if plain.Core.Ops < 2*4096 {
+		// Program genuinely too short to slice at all: must be exactly serial.
+		if !bytes.Equal(encode(t, plain), encode(t, res)) {
+			t.Error("forced-serial fallback differs from plain run")
+		}
+	}
+}
+
+// TestTimeParallelTraceReplay slices a replayed trace: the replayer must
+// clone itself (a second decode cursor per slice), each slice fast-forwards
+// over decoded records, results are deterministic, and CPI stays within the
+// 2% band of a serial replay. A truncated trace must still fail the run —
+// the decode-state oracle has to catch the final slice's short stream.
+func TestTimeParallelTraceReplay(t *testing.T) {
+	path := captureTrace(t, workloads.RandAcc, 0.05)
+	serial, err := Run(tracein.Bench(path), GHBRegular, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(tracein.Bench(path), GHBRegular, Options{Slices: 4})
+	if err != nil {
+		t.Fatalf("sliced replay: %v", err)
+	}
+	second, err := Run(tracein.Bench(path), GHBRegular, Options{Slices: 4})
+	if err != nil {
+		t.Fatalf("second sliced replay: %v", err)
+	}
+	if !bytes.Equal(encode(t, first), encode(t, second)) {
+		t.Error("two sliced replays differ")
+	}
+	if first.TimeParallel == nil {
+		t.Fatal("sliced replay did not slice (trace too short for MinSliceOps?)")
+	}
+	if first.Core.Ops != serial.Core.Ops {
+		t.Errorf("sliced replay detailed %d ops, serial %d", first.Core.Ops, serial.Core.Ops)
+	}
+	relErr := float64(first.Cycles-serial.Cycles) / float64(serial.Cycles)
+	if relErr < 0 {
+		relErr = -relErr
+	}
+	t.Logf("serial replay %d cycles, sliced %d (%.2f%% error)", serial.Cycles, first.Cycles, 100*relErr)
+	if relErr > 0.02 {
+		t.Errorf("sliced replay CPI off by %.2f%%, want <= 2%%", 100*relErr)
+	}
+
+	// Corrupt tail: the damage lands in the final slice's detail window, and
+	// the post-run decode check must reject the run.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(t.TempDir(), "cut.ppft")
+	if err := os.WriteFile(cut, raw[:len(raw)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(tracein.Bench(cut), GHBRegular, Options{Slices: 4})
+	var fe *tracein.FormatError
+	if !errors.As(err, &fe) {
+		t.Errorf("sliced truncated replay error = %v, want *tracein.FormatError", err)
+	}
+}
+
+// TestSampledTraceReplay covers RunSampled over a decoded stream — sampling
+// a -trace-in instance. Fast-forward must execute the replayed ops
+// functionally (all trace records consumed, decode clean through the
+// trailer) and the CPI estimate must stay in the same loose band the
+// IR-driven sampling test allows.
+func TestSampledTraceReplay(t *testing.T) {
+	path := captureTrace(t, workloads.RandAcc, 0.05)
+	full, err := Run(tracein.Bench(path), Stride, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := system.SampleConfig{WarmupOps: 1_000, MeasureOps: 4_000, FFOps: 15_000}
+	sampled, err := Run(tracein.Bench(path), Stride, Options{Sample: &sc})
+	if err != nil {
+		t.Fatalf("sampled replay: %v", err)
+	}
+	st := sampled.Sampled
+	if st == nil {
+		t.Fatal("sampled replay did not report sampling stats")
+	}
+	if st.TotalOps != full.Core.Ops {
+		t.Errorf("sampled replay consumed %d ops, full replay %d — fast-forward lost trace records",
+			st.TotalOps, full.Core.Ops)
+	}
+	if st.DetailedOps >= st.TotalOps*3/4 {
+		t.Errorf("sampling detailed %d of %d ops — not actually fast-forwarding", st.DetailedOps, st.TotalOps)
+	}
+	relErr := float64(st.EstimatedCycles-full.Cycles) / float64(full.Cycles)
+	if relErr < 0 {
+		relErr = -relErr
+	}
+	t.Logf("full replay %d cycles, estimated %d (%.1f%% error, %d/%d ops detailed)",
+		full.Cycles, st.EstimatedCycles, 100*relErr, st.DetailedOps, st.TotalOps)
+	if relErr > 0.35 {
+		t.Errorf("sampled replay CPI estimate off by %.1f%%", 100*relErr)
+	}
+}

@@ -27,6 +27,17 @@ type ForkableStream interface {
 	ForkStream(f *Machine) (cpu.Stream, error)
 }
 
+// StreamCloner is a leaf micro-op stream that can open a second cursor over
+// its source for a forked machine — e.g. a trace replayer re-opening its
+// file. Composite streams (the harness's run sequence) implement
+// ForkableStream directly and delegate member cloning to this interface.
+type StreamCloner interface {
+	cpu.Stream
+	// CloneStream returns an independent stream positioned at the same
+	// dynamic op, bound to f's backing store.
+	CloneStream(f *Machine) (cpu.Stream, error)
+}
+
 // Fork returns a deep copy of the machine: same configuration, same point in
 // simulated time, same pending events, independent state. See ForkWith.
 func (m *Machine) Fork() (*Machine, error) { return m.ForkWith(m.Cfg) }

@@ -69,99 +69,69 @@ func (m *Machine) RunSampled(stream cpu.Stream, cfg SampleConfig) Result {
 // ids still referenced by in-flight deps, i.e. a little over the ROB size.
 const depRing = 4096
 
-// sampledStream filters an inner micro-op stream into alternating detailed
-// and fast-forward phases. Two jobs beyond counting:
+// warmFilter is the shared machinery of every stream wrapper that swallows
+// some inner-stream ops (executing them functionally) and passes others to
+// the core in timing detail: interval sampling (sampledStream) and
+// time-parallel slice fast-forward (sliceStream). Two jobs:
 //
-//   - Dep renumbering. MicroOp.Deps name producer ops by the dynamic ids the
-//     interpreter assigned in inner-stream order; the core assigns its own
-//     ids to the ops it actually receives. Swallowing fast-forward ops would
-//     desynchronise the two, so deps on pass-through ops are rewritten to
-//     core ids via a ring map. A dep on a swallowed (or long-retired)
-//     producer maps to NoDep — its result counts as long since available,
-//     which is part of the sampling approximation.
+//   - Dep renumbering. MicroOp.Deps name producer ops by their inner-stream
+//     order; the core assigns its own ids to the ops it actually receives.
+//     Swallowing ops would desynchronise the two, so deps on pass-through
+//     ops are rewritten to core ids via a ring map. A dep on a swallowed (or
+//     long-retired) producer maps to NoDep — its result counts as long since
+//     available, which is part of the approximation.
 //
 //   - Functional warming. Swallowed loads/stores touch the TLB and caches
 //     (hit/LRU/insert only, no timing), branches train the predictor, and
 //     configuration ops apply their side effect so the prefetcher is
 //     programmed identically to a full run.
-type sampledStream struct {
-	m     *Machine
-	inner cpu.Stream
-	cfg   SampleConfig
-
-	measuring bool
-	left      int64 // ops remaining in the current phase
-
+//
+// Inner-stream ids are counted locally (pulled): every stream the harness
+// feeds a core assigns ids in pull order starting at zero, so the count is
+// the id of the next inner op whether the producer is an interpreter (which
+// also advances the machine Counter) or a trace replayer (which does not).
+type warmFilter struct {
+	m      *Machine
+	pulled int64 // inner ops pulled so far == inner-stream id of the next op
 	outOps int64 // ops delivered to the core == next core-assigned id
 
 	depSrc [depRing]int64 // inner-stream id each slot maps (-1 = empty)
 	depMap [depRing]int64 // corresponding core-assigned id
-
-	stats SampledStats
 }
 
-func newSampledStream(m *Machine, inner cpu.Stream, cfg SampleConfig) *sampledStream {
-	s := &sampledStream{
-		m: m, inner: inner, cfg: cfg,
-		measuring: true,
-		left:      cfg.WarmupOps + cfg.MeasureOps,
-	}
-	s.stats.Intervals = 1
-	for i := range s.depSrc {
-		s.depSrc[i] = -1
-	}
-	return s
-}
-
-// Next implements cpu.Stream.
-func (s *sampledStream) Next() (cpu.MicroOp, bool) {
-	for {
-		if s.left == 0 {
-			if s.measuring {
-				s.measuring = false
-				s.left = s.cfg.FFOps
-			} else {
-				s.measuring = true
-				s.left = s.cfg.WarmupOps + s.cfg.MeasureOps
-				s.stats.Intervals++
-			}
-		}
-		srcID := *s.m.Counter // id the interpreter will assign this op
-		op, ok := s.inner.Next()
-		if !ok {
-			return cpu.MicroOp{}, false
-		}
-		s.stats.TotalOps++
-		s.left--
-		if !s.measuring {
-			s.warm(op)
-			continue
-		}
-		s.stats.DetailedOps++
-		for i, d := range op.Deps {
-			op.Deps[i] = s.translateDep(d)
-		}
-		slot := srcID % depRing
-		s.depSrc[slot] = srcID
-		s.depMap[slot] = s.outOps
-		s.outOps++
-		return op, true
+func (w *warmFilter) init(m *Machine) {
+	w.m = m
+	for i := range w.depSrc {
+		w.depSrc[i] = -1
 	}
 }
 
-func (s *sampledStream) translateDep(d int64) int64 {
+// deliver renumbers op's deps to core ids and records the mapping for the
+// inner-stream id srcID. Call exactly once per op passed through to the core.
+func (w *warmFilter) deliver(op *cpu.MicroOp, srcID int64) {
+	for i, d := range op.Deps {
+		op.Deps[i] = w.translateDep(d)
+	}
+	slot := srcID % depRing
+	w.depSrc[slot] = srcID
+	w.depMap[slot] = w.outOps
+	w.outOps++
+}
+
+func (w *warmFilter) translateDep(d int64) int64 {
 	if d == cpu.NoDep {
 		return cpu.NoDep
 	}
 	slot := d % depRing
-	if s.depSrc[slot] == d {
-		return s.depMap[slot]
+	if w.depSrc[slot] == d {
+		return w.depMap[slot]
 	}
 	return cpu.NoDep
 }
 
-func (s *sampledStream) warm(op cpu.MicroOp) {
-	m := s.m
+// warm executes a swallowed op functionally against the machine.
+func (w *warmFilter) warm(op cpu.MicroOp) {
+	m := w.m
 	switch op.Kind {
 	case cpu.OpLoad:
 		m.TLB.WarmAccess(op.Addr)
@@ -181,5 +151,61 @@ func (s *sampledStream) warm(op cpu.MicroOp) {
 		}
 	}
 	// Software prefetches in a fast-forward gap are dropped: they only
-	// affect timing, which sampling deliberately skips.
+	// affect timing, which functional warming deliberately skips.
+}
+
+// sampledStream filters an inner micro-op stream into alternating detailed
+// and fast-forward phases (see warmFilter for the renumbering and warming
+// rules shared with time-parallel slicing).
+type sampledStream struct {
+	warmFilter
+	inner cpu.Stream
+	cfg   SampleConfig
+
+	measuring bool
+	left      int64 // ops remaining in the current phase
+
+	stats SampledStats
+}
+
+func newSampledStream(m *Machine, inner cpu.Stream, cfg SampleConfig) *sampledStream {
+	s := &sampledStream{
+		inner: inner, cfg: cfg,
+		measuring: true,
+		left:      cfg.WarmupOps + cfg.MeasureOps,
+	}
+	s.warmFilter.init(m)
+	s.stats.Intervals = 1
+	return s
+}
+
+// Next implements cpu.Stream.
+func (s *sampledStream) Next() (cpu.MicroOp, bool) {
+	for {
+		if s.left == 0 {
+			if s.measuring {
+				s.measuring = false
+				s.left = s.cfg.FFOps
+			} else {
+				s.measuring = true
+				s.left = s.cfg.WarmupOps + s.cfg.MeasureOps
+				s.stats.Intervals++
+			}
+		}
+		srcID := s.pulled // id the inner stream assigns this op
+		op, ok := s.inner.Next()
+		if !ok {
+			return cpu.MicroOp{}, false
+		}
+		s.pulled++
+		s.stats.TotalOps++
+		s.left--
+		if !s.measuring {
+			s.warm(op)
+			continue
+		}
+		s.stats.DetailedOps++
+		s.deliver(&op, srcID)
+		return op, true
+	}
 }

@@ -383,6 +383,9 @@ type Result struct {
 	Sampled *SampledStats `json:",omitempty"`
 	// Adaptive is set only for the adaptive scheme (same reason).
 	Adaptive *adaptive.Stats `json:",omitempty"`
+	// TimeParallel is set only on RunTimeParallel runs that actually
+	// sliced, keeping serial encodings byte-stable.
+	TimeParallel *TimeParallelStats `json:",omitempty"`
 }
 
 // Run executes the micro-op stream to completion and returns the collected

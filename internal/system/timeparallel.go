@@ -1,0 +1,291 @@
+package system
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+
+	"eventpf/internal/cpu"
+)
+
+// Time-parallel simulation: one run is split into K contiguous op-count
+// slices, each simulated in timing detail on its own forked machine while
+// every op before the slice executes functionally (backing-store update plus
+// cache/TLB/predictor warming, no simulated time). The slices run
+// concurrently — the whole point — and their statistics are stitched into
+// one Result. The composition is approximate versus a serial run (each
+// slice starts with warm caches but an empty window, idle MSHRs and idle
+// DRAM banks), but deterministic: boundaries are a pure function of
+// (TotalOps, Slices), warming is deterministic, and forked machines share
+// no mutable state, so two sliced runs of the same config are
+// byte-identical however the goroutines are scheduled.
+
+// MinSliceOps is the smallest detailed window worth forking a machine for:
+// below this the per-slice cold-start transient (window refill, first-miss
+// overlap) dominates and the parallelism cannot pay for the fork. Slicing
+// requests are clamped so every slice has at least this many ops; programs
+// shorter than 2*MinSliceOps run serially.
+const MinSliceOps = 1024
+
+// TimeParallelConfig sizes a time-parallel run.
+type TimeParallelConfig struct {
+	// Slices is the requested slice count K. Values below 2 run serially.
+	Slices int
+	// TotalOps is the program's dynamic op count, from a functional
+	// counting pass. Boundaries are TotalOps*i/K; the last slice runs to
+	// the true end of the stream, so a slightly-off count only skews the
+	// final slice's length, never drops or duplicates ops.
+	TotalOps int64
+}
+
+// TimeParallelStats records what a time-parallel run actually did; it is
+// attached to Result.TimeParallel (omitted entirely on serial runs, keeping
+// serial encodings byte-stable).
+type TimeParallelStats struct {
+	// Slices is the effective slice count after clamping.
+	Slices int
+	// WarmOps[i] counts the ops slice i fast-forwarded functionally.
+	WarmOps []int64
+	// DetailOps[i] counts the ops slice i simulated in timing detail.
+	DetailOps []int64
+	// SliceCycles[i] is slice i's detailed core cycles; the stitched
+	// Result.Cycles is their sum.
+	SliceCycles []int64
+}
+
+// RunTimeParallel executes the stream across cfg.Slices concurrent slices
+// and returns the stitched Result plus the machine that simulated the final
+// slice — the one holding the complete functional execution (backing store,
+// final stream position), which callers need for end-of-run oracle checks.
+//
+// Serial execution is forced — and the returned machine is m itself, with a
+// Result identical to m.Run(stream) — when the effective slice count after
+// clamping against MinSliceOps is below 2, or when the stream cannot be
+// forked (it does not implement ForkableStream, or a member stream is not
+// cloneable). The fallback is silent by design: slicing is a performance
+// hint, not a semantic request.
+func (m *Machine) RunTimeParallel(stream cpu.Stream, cfg TimeParallelConfig) (Result, *Machine, error) {
+	k := cfg.Slices
+	if cfg.TotalOps > 0 && int64(k) > cfg.TotalOps/MinSliceOps {
+		k = int(cfg.TotalOps / MinSliceOps)
+	}
+	if k < 2 || cfg.TotalOps <= 0 {
+		return m.Run(stream), m, nil
+	}
+
+	// Fork K-1 machines at op zero. Start has installed the stream but no
+	// event has run, so every fork is a byte-exact copy of the initial
+	// machine with its own stream clone positioned at op zero.
+	m.Start(stream)
+	machines := make([]*Machine, k)
+	machines[0] = m
+	for i := 1; i < k; i++ {
+		f, err := m.Fork()
+		if err != nil {
+			// Not forkable: close the clones already made and run the
+			// untouched parent serially (Start already happened).
+			for _, fm := range machines[1:i] {
+				closeStream(fm.stream)
+			}
+			m.Drain()
+			return m.Finish(), m, nil
+		}
+		machines[i] = f
+	}
+
+	// Wrap every machine's stream in its slice window. Slice i warms
+	// [0, start_i) and detail-simulates [start_i, end_i); the last slice
+	// runs to the true end of the stream.
+	slices := make([]*sliceStream, k)
+	for i, mi := range machines {
+		start := cfg.TotalOps * int64(i) / int64(k)
+		count := cfg.TotalOps*int64(i+1)/int64(k) - start
+		if i == k-1 {
+			count = -1 // to end of stream
+		}
+		ss := &sliceStream{inner: mi.stream, skip: start, count: count}
+		ss.warmFilter.init(mi)
+		slices[i] = ss
+		mi.swapStream(ss)
+	}
+
+	// Detail-simulate all slices concurrently. Each machine is confined to
+	// its goroutine; results are read only after the join.
+	var wg sync.WaitGroup
+	for _, mi := range machines {
+		wg.Add(1)
+		go func(mi *Machine) {
+			defer wg.Done()
+			mi.Drain()
+		}(mi)
+	}
+	wg.Wait()
+
+	results := make([]Result, k)
+	for i, mi := range machines {
+		results[i] = mi.Finish()
+	}
+	// Abandoned mid-stream clones (every slice but the last stops short of
+	// its stream's end) may hold open trace files; release them.
+	for _, ss := range slices[:k-1] {
+		closeStream(ss)
+	}
+
+	last := machines[k-1]
+	// Expose the final slice's inner stream (the clone that actually
+	// reached end of program) so Machine.Stream() hands callers their own
+	// stream type back, exactly as after a serial run.
+	last.stream = slices[k-1].inner
+
+	out := stitch(results, slices)
+	return out, last, nil
+}
+
+// stitch composes per-slice results into one whole-program Result. Counter
+// and duration fields sum (each dynamic op was detail-simulated in exactly
+// one slice, and every slice's clock starts at zero, so per-slice times are
+// chunk durations); end-of-run gauges — EWMA look-ahead distances, the
+// adaptive controller's final arm and sensors — come from the last slice;
+// per-PPU activity fractions average weighted by slice duration.
+func stitch(results []Result, slices []*sliceStream) Result {
+	out := results[len(results)-1]
+	tp := &TimeParallelStats{Slices: len(results)}
+	var totalTicks int64
+	activity := make([]float64, len(out.Activity))
+	for i, r := range results {
+		tp.WarmOps = append(tp.WarmOps, slices[i].warmed)
+		tp.DetailOps = append(tp.DetailOps, slices[i].delivered)
+		tp.SliceCycles = append(tp.SliceCycles, r.Cycles)
+		totalTicks += int64(r.Ticks)
+		for p := range activity {
+			if p < len(r.Activity) {
+				activity[p] += r.Activity[p] * float64(r.Ticks)
+			}
+		}
+		if i < len(results)-1 {
+			addNumeric(reflect.ValueOf(&out).Elem(), reflect.ValueOf(&results[i]).Elem())
+		}
+	}
+	if totalTicks > 0 {
+		for p := range activity {
+			activity[p] /= float64(totalTicks)
+		}
+	}
+	if len(activity) > 0 {
+		out.Activity = activity
+	}
+	out.TimeParallel = tp
+	return out
+}
+
+// statFields names the Result fields stitch sums across slices. Scheme,
+// Activity, Lookaheads and the omitempty sub-structs are composed by hand.
+var statFields = []string{"Core", "L1", "L2", "DRAM", "TLB", "PF", "Baseline", "Ticks", "Cycles"}
+
+// addNumeric adds src's counter fields into dst. Both are Result values;
+// within the selected sub-structs every integer and float field accumulates
+// (they are all counters, sums or durations), nested structs recurse, and
+// anything else (strings, slices) keeps dst's value — the last slice's.
+func addNumeric(dst, src reflect.Value) {
+	for _, name := range statFields {
+		d := dst.FieldByName(name)
+		s := src.FieldByName(name)
+		if !d.IsValid() || !s.IsValid() {
+			panic(fmt.Sprintf("system: stitch: Result has no field %s", name))
+		}
+		addValue(d, s)
+	}
+	// Adaptive is a pointer sub-struct; sum its counters when both slices
+	// carry it (the adaptive scheme), keeping the last slice's strings and
+	// per-arm breakdown.
+	d, s := dst.FieldByName("Adaptive"), src.FieldByName("Adaptive")
+	if !d.IsNil() && !s.IsNil() {
+		addValue(d.Elem(), s.Elem())
+	}
+}
+
+func addValue(d, s reflect.Value) {
+	switch d.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		d.SetInt(d.Int() + s.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		d.SetUint(d.Uint() + s.Uint())
+	case reflect.Float32, reflect.Float64:
+		d.SetFloat(d.Float() + s.Float())
+	case reflect.Struct:
+		for i := 0; i < d.NumField(); i++ {
+			addValue(d.Field(i), s.Field(i))
+		}
+	}
+}
+
+// swapStream replaces the machine's (and core's) micro-op stream. Only legal
+// between Start and the first engine step, i.e. before the core has pulled
+// any op.
+func (m *Machine) swapStream(s cpu.Stream) {
+	m.stream = s
+	m.Core.SwapStream(s)
+}
+
+// closeStream releases a stream abandoned mid-run (a non-final slice's
+// clone): trace replayers hold open file handles that only a clean
+// end-of-stream would otherwise close.
+func closeStream(s cpu.Stream) {
+	if c, ok := s.(io.Closer); ok {
+		c.Close() // best effort; the stream is abandoned
+	}
+}
+
+// sliceStream feeds a core one time-parallel slice of its inner stream:
+// the first skip ops execute functionally (warmFilter), the next count ops
+// pass through in timing detail with renumbered deps, and the stream then
+// reports end-of-program even if the inner stream has more — the next slice
+// covers those.
+type sliceStream struct {
+	warmFilter
+	inner cpu.Stream
+	skip  int64 // ops to fast-forward before the detailed window
+	count int64 // detailed ops to deliver; negative = to end of stream
+
+	warmed    int64
+	delivered int64
+}
+
+// Next implements cpu.Stream.
+func (s *sliceStream) Next() (cpu.MicroOp, bool) {
+	for s.warmed < s.skip {
+		op, ok := s.inner.Next()
+		if !ok {
+			return cpu.MicroOp{}, false
+		}
+		s.pulled++
+		s.warmed++
+		s.warm(op)
+	}
+	if s.count >= 0 && s.delivered >= s.count {
+		return cpu.MicroOp{}, false
+	}
+	srcID := s.pulled
+	op, ok := s.inner.Next()
+	if !ok {
+		return cpu.MicroOp{}, false
+	}
+	s.pulled++
+	s.delivered++
+	s.deliver(&op, srcID)
+	return op, true
+}
+
+// Close implements io.Closer for abandoned slices, releasing the inner
+// stream's resources (trace replayer file handles).
+func (s *sliceStream) Close() error {
+	if c, ok := s.inner.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Inner returns the wrapped stream (the final slice's clone reaches end of
+// program and carries the run's functional result).
+func (s *sliceStream) Inner() cpu.Stream { return s.inner }

@@ -20,8 +20,28 @@ type Replayer struct {
 	dec     Decoder
 	backing *mem.Backing
 	closer  io.Closer
+	path    string // set by OpenReplayer; enables CloneAt
 	nextID  int64
 	err     error
+}
+
+// OpenReplayer opens the trace at path and builds a Replayer that remembers
+// where it came from, so the stream can be cloned (CloneAt / CloneStream)
+// for machine forks and time-parallel slicing. Prefer this over NewReplayer
+// for file-backed traces.
+func OpenReplayer(path string, backing *mem.Backing) (*Replayer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracein: %w", err)
+	}
+	dec, err := Open(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tracein: %s: %w", path, err)
+	}
+	r := NewReplayer(dec, backing, f)
+	r.path = path
+	return r, nil
 }
 
 // NewReplayer builds a replay stream over dec feeding a machine's backing
@@ -86,6 +106,45 @@ func (r *Replayer) close() {
 	}
 }
 
+// Close implements io.Closer, releasing the trace file of a replayer
+// abandoned mid-stream (a non-final time-parallel slice). Safe after a
+// natural end of trace, which already closed the file.
+func (r *Replayer) Close() error {
+	r.close()
+	return r.err
+}
+
+// CloneAt opens a second decode cursor over the same trace, positioned just
+// before dynamic op (the clone's next Next returns the record with id op).
+// The prefix is decoded and discarded against backing, so lazily-faulted
+// pages exist in the clone's machine exactly as in the original's. Only
+// replayers built by OpenReplayer know their source and can clone.
+func (r *Replayer) CloneAt(backing *mem.Backing, op int64) (*Replayer, error) {
+	if r.path == "" {
+		return nil, fmt.Errorf("tracein: replayer has no file path; cannot clone")
+	}
+	c, err := OpenReplayer(r.path, backing)
+	if err != nil {
+		return nil, err
+	}
+	for c.nextID < op {
+		if _, ok := c.Next(); !ok {
+			err := c.Err()
+			if err == nil {
+				err = fmt.Errorf("tracein: %s: trace ends before op %d", r.path, op)
+			}
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// CloneStream implements system.StreamCloner: a cursor at the current
+// position for a forked machine.
+func (r *Replayer) CloneStream(f *system.Machine) (cpu.Stream, error) {
+	return r.CloneAt(f.Backing, r.nextID)
+}
+
 // Err returns the first decode error hit during replay (nil after a clean
 // end of trace, including trailer validation for native traces).
 func (r *Replayer) Err() error { return r.err }
@@ -107,16 +166,11 @@ func Bench(path string) *workloads.Benchmark {
 			var rep *Replayer
 			return &workloads.Instance{
 				StreamFn: func() (cpu.Stream, error) {
-					f, err := os.Open(path)
+					r, err := OpenReplayer(path, m.Backing)
 					if err != nil {
-						return nil, fmt.Errorf("tracein: %w", err)
+						return nil, err
 					}
-					dec, err := Open(f)
-					if err != nil {
-						f.Close()
-						return nil, fmt.Errorf("tracein: %s: %w", path, err)
-					}
-					rep = NewReplayer(dec, m.Backing, f)
+					rep = r
 					return rep, nil
 				},
 				// The oracle of a replayed trace is the trace itself: the run

@@ -7,13 +7,16 @@
 #   scripts/bench.sh 'BenchmarkFig7' # filter by regexp
 #   BENCHTIME=3x scripts/bench.sh    # more iterations
 #   SHORT=1 scripts/bench.sh         # -short: reduced-scale figures (CI perf job)
+#   SLICES=4 scripts/bench.sh        # time-parallel: 4 slices per simulation
+#                                    # (approximate; only comparable to other
+#                                    # SLICES=4 stamps — recorded in meta)
 #   STAMP=20260806b scripts/bench.sh # override the output stamp (e.g. a second
 #                                    # measurement on the same day)
 #
 # Output: BENCH_<stamp>.json in the repo root (stamp defaults to yyyymmdd,
 # with "-short" appended under SHORT=1 so short runs are never mistaken for
 # full-scale baselines):
-# {"meta": {"git_sha", "date", "go_version", "short", "schemes"},
+# {"meta": {"git_sha", "dirty", "date", "go_version", "short", "slices", "schemes"},
 #  "benchmarks": [{"name", "iterations", "metrics": {"ns/op": ..., "wall_s": ...}}, ...]}
 # plus the raw benchmark text alongside it. The meta block makes any two
 # BENCH files comparable without consulting the shell history that made them.
@@ -25,6 +28,7 @@ cd "$(dirname "$0")/.."
 
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1x}"
+slices="${SLICES:-0}"
 short="${SHORT:-}"
 shortflag=""
 shortmeta="false"
@@ -39,8 +43,15 @@ raw="BENCH_${stamp}.txt"
 out="BENCH_${stamp}.json"
 
 git_sha="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+dirty="false"
 if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
     git_sha="${git_sha}-dirty"
+    dirty="true"
+    echo "=======================================================================" >&2
+    echo "WARNING: working tree is DIRTY — this stamp measures uncommitted code." >&2
+    echo "         meta records sha=${git_sha} and dirty: true; do NOT commit it" >&2
+    echo "         as a baseline. Stash or commit first for a clean stamp." >&2
+    echo "=======================================================================" >&2
 fi
 iso_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 go_version="$(go env GOVERSION)"
@@ -59,12 +70,12 @@ adaptive_seed="$(printf '%s\n' "$adaptive_line" | tr ' ' '\n' | sed -n 's/^seed=
 trace_format="$(go run ./cmd/ppftracegen -format-version)"
 
 # shellcheck disable=SC2086 # $shortflag is deliberately empty or "-short"
-go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem $shortflag . | tee "$raw"
+EVENTPF_SLICES="$slices" go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem $shortflag . | tee "$raw"
 
-awk -v git_sha="$git_sha" -v iso_date="$iso_date" -v go_version="$go_version" -v short="$shortmeta" -v schemes="$schemes" \
+awk -v git_sha="$git_sha" -v dirty="$dirty" -v iso_date="$iso_date" -v go_version="$go_version" -v short="$shortmeta" -v slices="$slices" -v schemes="$schemes" \
     -v apolicy="$adaptive_policy" -v ainterval="$adaptive_interval" -v aseed="$adaptive_seed" -v trace_format="$trace_format" '
 BEGIN {
-    printf "{\"meta\":{\"git_sha\":\"%s\",\"date\":\"%s\",\"go_version\":\"%s\",\"short\":%s,\"schemes\":[%s],", git_sha, iso_date, go_version, short, schemes
+    printf "{\"meta\":{\"git_sha\":\"%s\",\"dirty\":%s,\"date\":\"%s\",\"go_version\":\"%s\",\"short\":%s,\"slices\":%s,\"schemes\":[%s],", git_sha, dirty, iso_date, go_version, short, slices, schemes
     printf "\"trace_format\":%s,", trace_format
     printf "\"adaptive\":{\"policy\":\"%s\",\"interval\":%s,\"seed\":%s}},\n", apolicy, ainterval, aseed
     print "\"benchmarks\":["

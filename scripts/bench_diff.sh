@@ -5,25 +5,40 @@
 #
 # Usage:
 #   scripts/bench_diff.sh BENCH_20260101.json BENCH_20260806.json
+#   scripts/bench_diff.sh -gate 10 OLD.json NEW.json   # exit 1 on >10% regression
 #
 # The meta stamp (git SHA, date, Go version) of both files heads the report;
 # a non-matching Go version is called out, since allocation counts and
-# timings are only honestly comparable on the same toolchain. Wall-clock
-# seconds per benchmark (wall_s, falling back to iterations x ns/op for old
-# files) lead the table, with a total-suite line at the bottom; deltas beyond
-# ±2% are marked. Paper-fidelity metrics (geomeans, hit rates, …) are printed
-# whenever both files carry them.
+# timings are only honestly comparable on the same toolchain, and a stamp
+# taken from a dirty working tree (meta dirty: true, sha suffixed -dirty) is
+# flagged as untrustworthy for a baseline. Wall-clock seconds per benchmark
+# (wall_s, falling back to iterations x ns/op for old files) lead the table,
+# with a total-suite line at the bottom; deltas beyond ±2% are marked.
+# Paper-fidelity metrics (geomeans, hit rates, …) are printed whenever both
+# files carry them. With -gate PCT, the script exits nonzero if any
+# benchmark's wall-clock regressed more than PCT percent.
 set -eu
 
+gate=""
+if [ "${1:-}" = "-gate" ]; then
+    if [ $# -lt 3 ]; then
+        echo "usage: $0 [-gate PCT] OLD.json NEW.json" >&2
+        exit 2
+    fi
+    gate="$2"
+    shift 2
+fi
+
 if [ $# -ne 2 ]; then
-    echo "usage: $0 OLD.json NEW.json" >&2
+    echo "usage: $0 [-gate PCT] OLD.json NEW.json" >&2
     exit 2
 fi
 
-python3 - "$1" "$2" <<'EOF'
+python3 - "$1" "$2" "$gate" <<'EOF'
 import json, sys
 
 old_path, new_path = sys.argv[1:3]
+gate = float(sys.argv[3]) if len(sys.argv) > 3 and sys.argv[3] else None
 
 def load(path):
     doc = json.load(open(path))
@@ -33,16 +48,34 @@ def load(path):
 
 old, new = load(old_path), load(new_path)
 
+def is_dirty(doc):
+    m = doc.get("meta", {})
+    return m.get("dirty") or str(m.get("git_sha", "")).endswith("-dirty")
+
 def meta_line(path, doc):
     m = doc.get("meta", {})
-    return f"  {path}: sha={m.get('git_sha', '?')} date={m.get('date', '?')} go={m.get('go_version', '?')}"
+    line = f"  {path}: sha={m.get('git_sha', '?')} date={m.get('date', '?')} go={m.get('go_version', '?')}"
+    if m.get("slices", 0) and m["slices"] > 1:
+        line += f" slices={m['slices']}"
+    if is_dirty(doc):
+        line += "  [DIRTY]"
+    return line
 
 print("bench_diff:")
 print(meta_line(old_path, old))
 print(meta_line(new_path, new))
+for path, doc in ((old_path, old), (new_path, new)):
+    if is_dirty(doc):
+        print(f"  WARNING: {path} was stamped from a DIRTY working tree — "
+              "it measures uncommitted code and is unfit as a committed baseline")
 og, ng = old.get("meta", {}).get("go_version"), new.get("meta", {}).get("go_version")
 if og and ng and og != ng:
     print(f"  WARNING: different Go versions ({og} vs {ng}) — deltas include toolchain drift")
+osl = old.get("meta", {}).get("slices", 0) or 0
+nsl = new.get("meta", {}).get("slices", 0) or 0
+if osl != nsl:
+    print(f"  WARNING: different time-parallel slicing (slices={osl} vs {nsl}) — "
+          "wall-clock deltas mostly measure the slicing, not the code")
 oa, na = old.get("meta", {}).get("adaptive"), new.get("meta", {}).get("adaptive")
 if oa and na and oa != na:
     print(f"  WARNING: different adaptive controller configs ({oa} vs {na}) — "
@@ -70,6 +103,7 @@ def wall_s(bench):
 width = max((len(n) for n in by_name_new), default=10)
 print(f"{'benchmark':<{width}}  {'old wall':>10}  {'new wall':>10}  {'delta':>8}  other metric deltas")
 tot_old = tot_new = 0.0
+regressions = []
 for name in sorted(set(by_name_old) | set(by_name_new)):
     if name not in by_name_old:
         print(f"{name:<{width}}  {'-':>10}  {fmt_s(wall_s(by_name_new[name]) or 0):>10}  {'NEW':>8}")
@@ -83,6 +117,8 @@ for name in sorted(set(by_name_old) | set(by_name_new)):
         tot_old += o_s
         tot_new += n_s
         pct = (n_s - o_s) / o_s * 100
+        if pct > 0:
+            regressions.append((name, pct))
         mark = "" if abs(pct) <= 2 else ("  <-- slower" if pct > 0 else "  <-- faster")
         delta = f"{pct:+.1f}%"
     else:
@@ -98,4 +134,13 @@ for name in sorted(set(by_name_old) | set(by_name_new)):
 if tot_old > 0:
     tpct = (tot_new - tot_old) / tot_old * 100
     print(f"{'TOTAL':<{width}}  {fmt_s(tot_old):>10}  {fmt_s(tot_new):>10}  {tpct:+8.1f}%")
+
+if gate is not None:
+    print(f"\ngate: failing on any wall-clock regression beyond +{gate:g}%")
+    failed = [(n, p) for n, p in regressions if p > gate]
+    if failed:
+        for n, p in failed:
+            print(f"  GATE FAIL: {n} {p:+.1f}% > +{gate:g}%")
+        sys.exit(1)
+    print("  ok: no benchmark regressed beyond the threshold")
 EOF
